@@ -1,0 +1,145 @@
+// E10 — the NAND storage engine under embedded constraints.
+//
+//   * write amplification and GC behaviour vs live-data utilization,
+//   * recovery time vs persisted volume,
+//   * index RAM budget sweep: hit ratio and lookup cost as RAM shrinks
+//     (the paper's secure-token regime),
+//   * wear spread across blocks.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "tc/common/rng.h"
+#include "tc/storage/flash_device.h"
+#include "tc/storage/log_store.h"
+#include "tc/storage/page_transform.h"
+
+using namespace tc;  // NOLINT — benchmark brevity.
+using namespace tc::storage;  // NOLINT
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+FlashGeometry Geometry(size_t blocks) {
+  FlashGeometry geo;
+  geo.page_size = 2048;
+  geo.pages_per_block = 32;
+  geo.block_count = blocks;
+  return geo;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E10: NAND storage engine ===\n");
+
+  // ---- Write amplification vs utilization ----
+  std::printf("\nchurn on a 16 MiB chip (200 B values), 4x capacity "
+              "written:\n");
+  std::printf("%12s %8s %10s %10s %12s %10s\n", "utilization", "WA",
+              "gc-runs", "moved", "erases", "max-wear");
+  for (double utilization : {0.1, 0.3, 0.5, 0.7}) {
+    FlashDevice flash(Geometry(256));
+    PlainPageTransform plain;
+    LogStoreOptions churn_options;
+    // Enough index RAM for the full key set: this section isolates the
+    // GC/WA behaviour (the RAM-starved regime is the sweep below — with a
+    // partial index GC cannot prove records dead and the device fills up,
+    // which is precisely why embedded stores need the index to fit).
+    churn_options.ram_budget_bytes = 8 << 20;
+    auto store = *LogStore::Open(&flash, &plain, churn_options);
+    size_t capacity = flash.geometry().capacity_bytes();
+    int live_keys = static_cast<int>(capacity * utilization / 230);
+    uint64_t to_write = 4ull * capacity;
+    uint64_t written = 0;
+    Bytes value(200, 0x5a);
+    Rng rng(static_cast<uint64_t>(utilization * 100));
+    while (written < to_write) {
+      std::string key =
+          "k" + std::to_string(rng.NextBelow(live_keys));
+      TC_CHECK(store->Put(key, value).ok());
+      written += 230;
+    }
+    uint64_t max_wear = 0;
+    for (size_t b = 0; b < flash.geometry().block_count; ++b) {
+      max_wear = std::max(max_wear, flash.BlockWear(b));
+    }
+    std::printf("%11.0f%% %8.2f %10llu %10llu %12llu %10llu\n",
+                utilization * 100, store->WriteAmplification(),
+                static_cast<unsigned long long>(store->stats().gc_runs),
+                static_cast<unsigned long long>(
+                    store->stats().gc_records_moved),
+                static_cast<unsigned long long>(
+                    flash.stats().block_erases),
+                static_cast<unsigned long long>(max_wear));
+  }
+
+  // ---- Recovery time vs persisted records ----
+  std::printf("\nrecovery (reopen + index rebuild):\n");
+  std::printf("%12s %12s %14s %14s\n", "records", "pages", "recover ms",
+              "sim flash ms");
+  for (int records : {1000, 10000, 50000}) {
+    auto flash = std::make_unique<FlashDevice>(Geometry(1024));
+    PlainPageTransform plain;
+    {
+      auto store = *LogStore::Open(flash.get(), &plain, LogStoreOptions{});
+      Bytes value(100, 1);
+      for (int i = 0; i < records; ++i) {
+        TC_CHECK(store->Put("key-" + std::to_string(i), value).ok());
+      }
+      TC_CHECK(store->Flush().ok());
+    }
+    uint64_t pages = flash->stats().page_programs;
+    flash->ResetStats();
+    auto t0 = std::chrono::steady_clock::now();
+    auto reopened = *LogStore::Open(flash.get(), &plain, LogStoreOptions{});
+    double ms = MsSince(t0);
+    std::printf("%12d %12llu %14.1f %14.1f\n", records,
+                static_cast<unsigned long long>(pages), ms,
+                flash->stats().simulated_time_us / 1000.0);
+    (void)reopened;
+  }
+
+  // ---- Index RAM budget sweep ----
+  std::printf("\nindex RAM budget sweep (10k keys, 2000 random gets):\n");
+  std::printf("%12s %10s %12s %12s %14s\n", "budget", "idx-full",
+              "idx-dropped", "log-scans", "flash reads/get");
+  for (size_t budget :
+       {size_t{16} << 10, size_t{64} << 10, size_t{256} << 10,
+        size_t{1} << 20}) {
+    FlashDevice flash(Geometry(512));
+    PlainPageTransform plain;
+    LogStoreOptions options;
+    options.ram_budget_bytes = budget;
+    auto store = *LogStore::Open(&flash, &plain, options);
+    Bytes value(64, 1);
+    for (int i = 0; i < 10000; ++i) {
+      TC_CHECK(store->Put("key-" + std::to_string(i), value).ok());
+    }
+    TC_CHECK(store->Flush().ok());
+    flash.ResetStats();
+    Rng rng(7);
+    for (int i = 0; i < 2000; ++i) {
+      TC_CHECK(
+          store->Get("key-" + std::to_string(rng.NextBelow(10000))).ok());
+    }
+    std::printf("%9zu KiB %10s %12llu %12llu %14.1f\n", budget >> 10,
+                store->index_complete() ? "yes" : "NO",
+                static_cast<unsigned long long>(
+                    store->stats().index_insertions_dropped),
+                static_cast<unsigned long long>(store->stats().full_scans),
+                flash.stats().page_reads / 2000.0);
+  }
+  std::printf(
+      "\nexpected shape: WA rises with utilization (less dead space per\n"
+      "GC victim); recovery is one sequential pass; below ~700 KiB the\n"
+      "index no longer fits 10k keys and lookups degrade to log scans —\n"
+      "the secure-token regime the paper worries about.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// E2 — privacy vs aggregation granularity.
+//
+// Paper claims under test:
+//   "At the 1 Hz granularity provided by the Linky, most electrical
+//    appliances have a distinctive energy signature" -> NILM F1 high at 1 s.
+//   "at that granularity [15 min] one cannot detect specific activities,
+//    but it is still possible to infer a daily routine" -> F1 collapses,
+//    routine inference still works.
+//
+// Rows: one per externalization granularity, averaged over simulated days.
+
+#include <cstdio>
+
+#include "tc/nilm/activity_inference.h"
+#include "tc/nilm/disaggregator.h"
+#include "tc/sensors/household.h"
+
+using namespace tc;  // NOLINT — benchmark brevity.
+
+int main() {
+  std::printf("=== E2: NILM attack vs externalization granularity ===\n");
+  const int kDays = 20;
+  const int kWindows[] = {1, 60, 900, 3600, 86400};
+
+  sensors::HouseholdSimulator sim(sensors::HouseholdSimulator::Config{});
+  nilm::Disaggregator attack;
+  std::vector<sensors::ApplianceType> activity = {
+      sensors::ApplianceType::kKettle, sensors::ApplianceType::kOven,
+      sensors::ApplianceType::kWashingMachine,
+      sensors::ApplianceType::kDishwasher,
+      sensors::ApplianceType::kEvCharger};
+
+  std::printf("\n%10s %10s %10s %10s %12s %14s\n", "window", "precision",
+              "recall", "F1", "wake-found", "evening-found");
+  for (int window : kWindows) {
+    double precision = 0, recall = 0, f1 = 0;
+    int wake_found = 0, evening_found = 0;
+    for (int d = 0; d < kDays; ++d) {
+      sensors::DayTrace day = sim.SimulateDay(d);
+      std::vector<int> view =
+          window == 1 ? day.watts : day.Downsample(window);
+      nilm::NilmScore score = nilm::Disaggregator::Score(
+          attack.Detect(view, window), day.events, activity);
+      precision += score.precision;
+      recall += score.recall;
+      f1 += score.f1;
+      nilm::DailyRoutine routine =
+          nilm::ActivityInference::Infer(view, window);
+      if (routine.wake_second >= 0) ++wake_found;
+      if (routine.evening_presence) ++evening_found;
+    }
+    char label[16];
+    if (window < 60) {
+      std::snprintf(label, sizeof(label), "%d s", window);
+    } else if (window < 3600) {
+      std::snprintf(label, sizeof(label), "%d min", window / 60);
+    } else if (window < 86400) {
+      std::snprintf(label, sizeof(label), "%d h", window / 3600);
+    } else {
+      std::snprintf(label, sizeof(label), "1 day");
+    }
+    std::printf("%10s %10.2f %10.2f %10.2f %9d/%d %11d/%d\n", label,
+                precision / kDays, recall / kDays, f1 / kDays, wake_found,
+                kDays, evening_found, kDays);
+  }
+  std::printf(
+      "\nexpected shape: F1 high at 1 s, near zero at >= 15 min; routine\n"
+      "(wake/evening) still inferable at 15 min — exactly the paper's\n"
+      "motivation for the household's chosen disclosure granularities.\n");
+  return 0;
+}

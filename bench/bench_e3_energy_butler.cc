@@ -1,0 +1,89 @@
+// E3 — the energy-butler and social-game claims, over a full simulated
+// year (four seasons):
+//   "That award-winning app ... saves them 30% on their bill."
+//   "Alice is engaged in a social game ... reducing consumption by 20%."
+
+#include <cstdio>
+
+#include "tc/sensors/household.h"
+
+using namespace tc;  // NOLINT — benchmark brevity.
+
+namespace {
+
+struct YearResult {
+  double kwh = 0;
+  double bill = 0;
+};
+
+YearResult SimulateYear(const sensors::HouseholdSimulator::Config& config) {
+  sensors::HouseholdSimulator sim(config);
+  sensors::Tariff tariff;
+  YearResult result;
+  for (int d = 0; d < 365; ++d) {
+    sensors::DayTrace day = sim.SimulateDay(d);
+    result.kwh += day.kwh;
+    result.bill += sensors::HouseholdSimulator::DailyBillEur(day, tariff);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E3: energy butler & social game (one simulated year) ===\n");
+
+  sensors::HouseholdSimulator::Config base;
+  base.seed = 2013;
+
+  sensors::HouseholdSimulator::Config butler = base;
+  butler.smart_butler = true;
+
+  sensors::HouseholdSimulator::Config game = butler;
+  game.conservation_factor = 0.7;  // Social-game engagement level.
+
+  YearResult r_base = SimulateYear(base);
+  YearResult r_butler = SimulateYear(butler);
+  YearResult r_game = SimulateYear(game);
+
+  std::printf("\n%-34s %10s %12s %10s %10s\n", "configuration", "kWh/year",
+              "bill EUR/y", "kWh saved", "EUR saved");
+  auto row = [&](const char* name, const YearResult& r) {
+    std::printf("%-34s %10.0f %12.2f %9.0f%% %9.0f%%\n", name, r.kwh, r.bill,
+                100.0 * (r_base.kwh - r.kwh) / r_base.kwh,
+                100.0 * (r_base.bill - r.bill) / r_base.bill);
+  };
+  row("no butler (baseline)", r_base);
+  row("energy butler", r_butler);
+  row("butler + social game", r_game);
+
+  std::printf(
+      "\npaper claims: butler saves ~30%% on the bill; social game reduces\n"
+      "consumption ~20%%. Measured: butler %.0f%% bill saving; game adds a\n"
+      "%.0f%% consumption cut on top of the butler.\n",
+      100.0 * (r_base.bill - r_butler.bill) / r_base.bill,
+      100.0 * (r_butler.kwh - r_game.kwh) / r_butler.kwh);
+
+  // Seasonal breakdown (butler effect is heating-dependent).
+  std::printf("\nseasonal bill saving of the butler:\n");
+  const struct {
+    const char* name;
+    int from, to;
+  } kSeasons[] = {{"winter (Jan-Feb)", 0, 59},
+                  {"spring (Apr-May)", 90, 150},
+                  {"summer (Jul-Aug)", 181, 242},
+                  {"autumn (Oct-Nov)", 273, 334}};
+  sensors::HouseholdSimulator sim_base(base), sim_butler(butler);
+  sensors::Tariff tariff;
+  for (const auto& season : kSeasons) {
+    double b0 = 0, b1 = 0;
+    for (int d = season.from; d < season.to; ++d) {
+      b0 += sensors::HouseholdSimulator::DailyBillEur(sim_base.SimulateDay(d),
+                                                      tariff);
+      b1 += sensors::HouseholdSimulator::DailyBillEur(
+          sim_butler.SimulateDay(d), tariff);
+    }
+    std::printf("  %-18s %5.0f%%\n", season.name, 100.0 * (b0 - b1) / b0);
+  }
+  return 0;
+}

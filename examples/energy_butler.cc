@@ -1,0 +1,135 @@
+// The paper's motivating scenario: Alice & Bob's home gateway trusted cell
+// ingests the Linky meter's 1 Hz feed, runs the energy-butler app, and
+// externalizes each recipient exactly the granularity they are entitled
+// to: 15-minute aggregates for household members, daily totals for the
+// social game, a certified monthly figure for the distribution company —
+// while the raw 1 Hz trace never leaves the cell.
+
+#include <cstdio>
+
+#include "tc/cell/cell.h"
+#include "tc/nilm/disaggregator.h"
+#include "tc/sensors/household.h"
+#include "tc/sensors/power_meter.h"
+
+using namespace tc;  // NOLINT — example brevity.
+
+int main() {
+  SimulatedClock clock(MakeTimestamp(2013, 1, 1));
+  cloud::CloudInfrastructure cloud;
+  cell::CellDirectory directory;
+
+  cell::TrustedCell::Config config;
+  config.cell_id = "alice-bob-gateway";
+  config.owner = "alice-bob";
+  config.device_class = tee::DeviceClass::kHomeGateway;
+  auto gateway = *cell::TrustedCell::Create(config, &cloud, &directory,
+                                            &clock);
+
+  // The Linky meter is a trusted source; the household simulator stands in
+  // for the physical home.
+  sensors::HouseholdSimulator::Config home;
+  home.seed = 2013;
+  home.smart_butler = true;  // The award-winning butler app is installed.
+  sensors::HouseholdSimulator house(home);
+  sensors::PowerMeter meter("linky-000042");
+
+  const int days = 7;
+  Timestamp start = clock.Now();
+  double month_kwh = 0;
+  std::printf("simulating %d days of 1 Hz metering...\n", days);
+  for (int d = 0; d < days; ++d) {
+    sensors::DayTrace day = house.SimulateDay(d);
+    Timestamp day_start = start + d * kSecondsPerDay;
+    sensors::CertifiedAggregate cert =
+        meter.EmitDay(day, day_start, [&](Timestamp t, int watts) {
+          TC_CHECK(gateway->IngestReading("power", t, watts).ok());
+        });
+    month_kwh += cert.kwh;
+    // The utility verifies the meter's signature on the daily aggregate.
+    TC_CHECK(sensors::PowerMeter::Verify(cert, meter.public_key()));
+
+    // Daily total to the social game (opt-in, coarse).
+    TC_CHECK(gateway
+                 ->PublishAggregate("social-game", "power", day_start,
+                                    day_start + kSecondsPerDay,
+                                    kSecondsPerDay)
+                 .ok());
+    clock.Advance(kSecondsPerDay);
+  }
+  std::printf("ingested %llu readings; %.1f kWh over %d days\n",
+              static_cast<unsigned long long>(
+                  gateway->stats().readings_ingested),
+              month_kwh, days);
+
+  // Household members see 15-minute aggregates — enough for the
+  // visualization app, too coarse to expose individual appliance runs.
+  auto quarter_hours =
+      gateway->Aggregates("power", start, start + kSecondsPerDay, 900);
+  TC_CHECK(quarter_hours.ok());
+  std::printf("day 1 as the family visualization app sees it (96 windows):\n");
+  for (size_t i = 28; i < 36; ++i) {  // 07:00-09:00.
+    const auto& w = (*quarter_hours)[i];
+    std::printf("  %s  %5.0f W mean\n",
+                FormatTimestamp(w.window_start).c_str(), w.mean);
+  }
+
+  // What could an attacker infer at each granularity? Run the NILM attack
+  // on the raw feed vs the 15-minute view of the same day.
+  sensors::DayTrace day0 = house.SimulateDay(0);
+  nilm::Disaggregator attack;
+  std::vector<sensors::ApplianceType> activity = {
+      sensors::ApplianceType::kKettle, sensors::ApplianceType::kOven,
+      sensors::ApplianceType::kWashingMachine,
+      sensors::ApplianceType::kDishwasher,
+      sensors::ApplianceType::kEvCharger};
+  auto f1_raw = nilm::Disaggregator::Score(attack.Detect(day0.watts, 1),
+                                           day0.events, activity)
+                    .f1;
+  auto f1_15 = nilm::Disaggregator::Score(
+                   attack.Detect(day0.Downsample(900), 900), day0.events,
+                   activity)
+                   .f1;
+  std::printf(
+      "NILM attack F1: raw 1 Hz feed %.2f vs 15-min aggregates %.2f — the\n"
+      "gateway only ever externalizes the latter\n",
+      f1_raw, f1_15);
+
+  // Butler savings: same house without the butler, 30 days each.
+  sensors::HouseholdSimulator::Config naive_cfg = home;
+  naive_cfg.smart_butler = false;
+  sensors::HouseholdSimulator naive_house(naive_cfg);
+  sensors::Tariff tariff;
+  double bill_naive = 0, bill_smart = 0;
+  for (int d = 0; d < 30; ++d) {
+    bill_naive += sensors::HouseholdSimulator::DailyBillEur(
+        naive_house.SimulateDay(d), tariff);
+    bill_smart += sensors::HouseholdSimulator::DailyBillEur(
+        house.SimulateDay(d), tariff);
+  }
+  std::printf(
+      "energy butler: 30-day bill %.2f EUR -> %.2f EUR (%.0f%% saved; the "
+      "paper claims ~30%%)\n",
+      bill_naive, bill_smart, 100.0 * (bill_naive - bill_smart) / bill_naive);
+
+  // The social game: the behavioural effect modeled as consumption scale.
+  sensors::HouseholdSimulator::Config eco_cfg = home;
+  eco_cfg.conservation_factor = 0.78;
+  sensors::HouseholdSimulator eco_house(eco_cfg);
+  double kwh_before = 0, kwh_after = 0;
+  for (int d = 0; d < 30; ++d) {
+    kwh_before += house.SimulateDay(d).kwh;
+    kwh_after += eco_house.SimulateDay(d).kwh;
+  }
+  std::printf(
+      "social game: consumption %.0f kWh -> %.0f kWh (%.0f%% reduction; "
+      "paper: 20%%)\n",
+      kwh_before, kwh_after, 100.0 * (kwh_before - kwh_after) / kwh_before);
+
+  std::printf(
+      "raw readings stored in the cell: %llu; aggregates published: %llu — "
+      "no raw data ever left the gateway\n",
+      static_cast<unsigned long long>(gateway->stats().readings_ingested),
+      static_cast<unsigned long long>(gateway->stats().aggregates_published));
+  return 0;
+}

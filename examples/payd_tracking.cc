@@ -1,0 +1,87 @@
+// Pay-as-you-drive: "the GPS tracker in your son's car gives him detailed
+// turn-by-turn guidance, but hides those details to local government, only
+// delivering the result of road-pricing computations."
+//
+// The in-car tracking box is a sensor-class trusted cell. The insurer gets
+// a signed (distance, cost) aggregate per day; the raw 1 Hz trace goes to
+// the owner's own cell only.
+
+#include <cstdio>
+
+#include "tc/cell/cell.h"
+#include "tc/sensors/gps.h"
+
+using namespace tc;  // NOLINT — example brevity.
+
+int main() {
+  SimulatedClock clock(MakeTimestamp(2013, 3, 4));  // A Monday.
+  cloud::CloudInfrastructure cloud;
+  cell::CellDirectory directory;
+
+  cell::TrustedCell::Config config;
+  config.cell_id = "alice-phone";
+  config.owner = "alice";
+  config.device_class = tee::DeviceClass::kSmartPhone;
+  auto phone = *cell::TrustedCell::Create(config, &cloud, &directory, &clock);
+
+  sensors::GpsTracker tracker("car-tracker-77", sensors::GpsTracker::Config{});
+
+  double week_km = 0;
+  int64_t week_cents = 0;
+  for (int d = 0; d < 5; ++d) {  // A working week.
+    Timestamp day_start = clock.Now();
+    auto trips = tracker.SimulateDay(d, day_start);
+
+    // Raw fixes stream to Alice's own cell (1 Hz series per dimension).
+    for (const sensors::Trip& trip : trips) {
+      for (const sensors::GpsPoint& p : trip.points) {
+        TC_CHECK(phone->IngestReading("gps.lat", p.time, p.lat_udeg).ok());
+        TC_CHECK(phone->IngestReading("gps.lon", p.time, p.lon_udeg).ok());
+      }
+    }
+
+    // The insurer receives only the signed aggregate.
+    sensors::PaydSummary summary = tracker.Summarize(d, trips);
+    TC_CHECK(sensors::GpsTracker::Verify(summary, tracker.public_key()));
+    week_km += summary.total_km;
+    week_cents += summary.total_cost_cents;
+    std::printf(
+        "day %d: %d trip(s), %.1f km, road price %.2f EUR (signed, "
+        "verified by insurer)\n",
+        d, summary.trip_count, summary.total_km,
+        summary.total_cost_cents / 100.0);
+    clock.Advance(kSecondsPerDay);
+  }
+
+  std::printf("week total: %.1f km, %.2f EUR\n", week_km, week_cents / 100.0);
+  std::printf(
+      "raw GPS fixes in Alice's cell: %llu — the insurer saw %d numbers "
+      "per day\n",
+      static_cast<unsigned long long>(phone->stats().readings_ingested),
+      3);
+
+  // Alice can still run fine-grained queries on her own trace, e.g. where
+  // was the car at 08:30 on day 0?
+  Timestamp probe = MakeTimestamp(2013, 3, 4, 8, 30, 0);
+  auto lat = phone->database().timeseries().Range("gps.lat", probe,
+                                                  probe + 600);
+  TC_CHECK(lat.ok());
+  if (!lat->empty()) {
+    std::printf("alice's private query: at %s the car was near lat %.5f\n",
+                FormatTimestamp((*lat)[0].time).c_str(),
+                (*lat)[0].value / 1e6);
+  } else {
+    std::printf("alice's private query: car was parked at 08:30 on day 0\n");
+  }
+
+  // A forged aggregate (half the distance, to cut the premium) would be
+  // rejected by the insurer.
+  auto trips = tracker.SimulateDay(7, clock.Now());
+  sensors::PaydSummary forged = tracker.Summarize(7, trips);
+  forged.total_km *= 0.5;
+  std::printf("forged summary accepted by insurer? %s\n",
+              sensors::GpsTracker::Verify(forged, tracker.public_key())
+                  ? "yes (BUG)"
+                  : "no — signature check failed");
+  return 0;
+}

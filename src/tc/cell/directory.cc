@@ -1,0 +1,34 @@
+#include "tc/cell/directory.h"
+
+namespace tc::cell {
+
+Status CellDirectory::Register(const CellIdentity& identity) {
+  if (identity.cell_id.empty()) {
+    return Status::InvalidArgument("empty cell id");
+  }
+  if (cells_.count(identity.cell_id) > 0) {
+    return Status::AlreadyExists("cell already registered: " +
+                                 identity.cell_id);
+  }
+  cells_[identity.cell_id] = identity;
+  return Status::OK();
+}
+
+Result<CellIdentity> CellDirectory::Lookup(const std::string& cell_id) const {
+  auto it = cells_.find(cell_id);
+  if (it == cells_.end()) {
+    return Status::NotFound("unknown cell: " + cell_id);
+  }
+  return it->second;
+}
+
+std::vector<CellIdentity> CellDirectory::CellsOf(
+    const std::string& owner) const {
+  std::vector<CellIdentity> out;
+  for (const auto& [id, identity] : cells_) {
+    if (identity.owner == owner) out.push_back(identity);
+  }
+  return out;
+}
+
+}  // namespace tc::cell

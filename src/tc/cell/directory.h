@@ -1,0 +1,43 @@
+#ifndef TC_CELL_DIRECTORY_H_
+#define TC_CELL_DIRECTORY_H_
+
+#include <map>
+#include <string>
+
+#include "tc/common/result.h"
+#include "tc/crypto/bignum.h"
+
+namespace tc::cell {
+
+/// Public identity of a trusted cell (everything here is public-key
+/// material; confidentiality is not required, authenticity is provided by
+/// manufacturer endorsements checked at registration time).
+struct CellIdentity {
+  std::string cell_id;
+  std::string owner;
+  crypto::BigInt signing_public_key;
+  crypto::BigInt dh_public_key;
+};
+
+/// Directory of cell identities.
+///
+/// In deployment this would be a PKI anchored on TEE manufacturer
+/// endorsements; in the simulation it is a shared registry the cells
+/// consult to resolve a peer's keys before sharing. The directory can be
+/// hosted by the untrusted infrastructure because entries are
+/// self-certifying once endorsements are checked.
+class CellDirectory {
+ public:
+  Status Register(const CellIdentity& identity);
+  Result<CellIdentity> Lookup(const std::string& cell_id) const;
+  /// All cells of an owner (e.g. Alice's gateway + phone).
+  std::vector<CellIdentity> CellsOf(const std::string& owner) const;
+  size_t size() const { return cells_.size(); }
+
+ private:
+  std::map<std::string, CellIdentity> cells_;
+};
+
+}  // namespace tc::cell
+
+#endif  // TC_CELL_DIRECTORY_H_

@@ -1,0 +1,76 @@
+#ifndef TC_CELL_VAULT_BASELINE_H_
+#define TC_CELL_VAULT_BASELINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tc/cloud/infrastructure.h"
+#include "tc/common/clock.h"
+#include "tc/common/result.h"
+#include "tc/policy/ucon.h"
+
+namespace tc::cell {
+
+/// The centralized personal-data-vault baseline the paper critiques
+/// (Personal, Mydex, ...): the *provider* stores user data and evaluates
+/// the privacy policy server-side, in the clear.
+///
+/// Functionally equivalent to the trusted-cell document API, and used by
+/// E1/E6/E8 to quantify the paper's two arguments against centralization:
+///
+///  1. "users get exposed to sudden changes in privacy policies" — the
+///     provider can flip `honour_policies` off and every stored document
+///     becomes readable; nothing on the user side can prevent or detect it.
+///  2. "users are exposed to sophisticated attacks, whose cost-benefit is
+///     high on a centralized database" — `BreachAll()` returns every
+///     user's plaintext; the trusted-cell equivalent (one broken TEE)
+///     exposes a single user's data.
+class CentralizedVault {
+ public:
+  explicit CentralizedVault(cloud::CloudInfrastructure* cloud,
+                            const Clock* clock)
+      : cloud_(cloud), clock_(clock) {}
+
+  /// Stores a document for `owner`; the provider sees the plaintext.
+  Result<std::string> StoreDocument(const std::string& owner,
+                                    const std::string& title,
+                                    const Bytes& content,
+                                    const policy::Policy& policy);
+
+  /// Provider-side policy evaluation, then plaintext retrieval.
+  Result<Bytes> ReadDocument(const std::string& doc_id,
+                             const std::string& subject,
+                             const policy::Attributes& attributes = {});
+
+  /// The provider unilaterally stops honouring user policies ("sudden
+  /// change in privacy policy"). Users are not notified; reads simply
+  /// start succeeding.
+  void set_honour_policies(bool honour) { honour_policies_ = honour; }
+  bool honour_policies() const { return honour_policies_; }
+
+  /// A single provider-side breach: every document of every user, in the
+  /// clear. Returns (owner, doc_id, plaintext).
+  std::vector<std::tuple<std::string, std::string, Bytes>> BreachAll() const;
+
+  size_t document_count() const { return docs_.size(); }
+
+ private:
+  struct VaultDoc {
+    std::string owner;
+    std::string title;
+    std::string blob_id;
+    policy::Policy policy;
+  };
+
+  cloud::CloudInfrastructure* cloud_;
+  const Clock* clock_;
+  std::map<std::string, VaultDoc> docs_;
+  policy::DecisionPoint pdp_;
+  bool honour_policies_ = true;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace tc::cell
+
+#endif  // TC_CELL_VAULT_BASELINE_H_

@@ -1,0 +1,64 @@
+#include "tc/cloud/blob_store.h"
+
+namespace tc::cloud {
+
+uint64_t BlobStore::Put(const std::string& id, const Bytes& data) {
+  std::vector<Bytes>& versions = blobs_[id];
+  versions.push_back(data);
+  total_bytes_ += data.size();
+  return versions.size();
+}
+
+Result<Bytes> BlobStore::Get(const std::string& id) const {
+  auto it = blobs_.find(id);
+  if (it == blobs_.end() || it->second.empty()) {
+    return Status::NotFound("no such blob: " + id);
+  }
+  return it->second.back();
+}
+
+Result<Bytes> BlobStore::GetVersion(const std::string& id,
+                                    uint64_t version) const {
+  auto it = blobs_.find(id);
+  if (it == blobs_.end() || version == 0 || version > it->second.size()) {
+    return Status::NotFound("no such blob version");
+  }
+  return it->second[version - 1];
+}
+
+Result<uint64_t> BlobStore::LatestVersion(const std::string& id) const {
+  auto it = blobs_.find(id);
+  if (it == blobs_.end() || it->second.empty()) {
+    return Status::NotFound("no such blob: " + id);
+  }
+  return static_cast<uint64_t>(it->second.size());
+}
+
+bool BlobStore::Exists(const std::string& id) const {
+  return blobs_.count(id) > 0;
+}
+
+Status BlobStore::Delete(const std::string& id) {
+  auto it = blobs_.find(id);
+  if (it == blobs_.end()) return Status::NotFound("no such blob: " + id);
+  for (const Bytes& v : it->second) total_bytes_ -= v.size();
+  blobs_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> BlobStore::List(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (auto it = blobs_.lower_bound(prefix); it != blobs_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+Bytes* BlobStore::MutableLatest(const std::string& id) {
+  auto it = blobs_.find(id);
+  if (it == blobs_.end() || it->second.empty()) return nullptr;
+  return &it->second.back();
+}
+
+}  // namespace tc::cloud

@@ -1,0 +1,54 @@
+#ifndef TC_CLOUD_BLOB_STORE_H_
+#define TC_CLOUD_BLOB_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tc/common/bytes.h"
+#include "tc/common/result.h"
+
+namespace tc::cloud {
+
+/// Versioned blob storage — the "highly available and resilient store for
+/// all data outsourced by trusted cells". Every Put creates a new version;
+/// history is retained, which is exactly what lets a *malicious* operator
+/// mount rollback attacks (serve version n-1 as if it were current) and
+/// what lets honest cells keep cheap snapshots.
+class BlobStore {
+ public:
+  /// Stores a new version of `id`; returns the version number (1-based).
+  uint64_t Put(const std::string& id, const Bytes& data);
+
+  /// Latest version payload.
+  Result<Bytes> Get(const std::string& id) const;
+
+  /// Specific version payload.
+  Result<Bytes> GetVersion(const std::string& id, uint64_t version) const;
+
+  /// Latest version number (kNotFound if the blob does not exist).
+  Result<uint64_t> LatestVersion(const std::string& id) const;
+
+  bool Exists(const std::string& id) const;
+  Status Delete(const std::string& id);
+
+  /// Ids with the given prefix (listing is metadata the provider sees —
+  /// part of why payloads must be encrypted).
+  std::vector<std::string> List(const std::string& prefix) const;
+
+  size_t blob_count() const { return blobs_.size(); }
+  uint64_t total_bytes() const { return total_bytes_; }
+
+  /// Direct mutable access to stored bytes — used ONLY by the adversary
+  /// to model provider-side tampering.
+  Bytes* MutableLatest(const std::string& id);
+
+ private:
+  std::map<std::string, std::vector<Bytes>> blobs_;  // id -> versions.
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace tc::cloud
+
+#endif  // TC_CLOUD_BLOB_STORE_H_

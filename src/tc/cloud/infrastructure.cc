@@ -1,0 +1,121 @@
+#include "tc/cloud/infrastructure.h"
+
+namespace tc::cloud {
+
+CloudInfrastructure::CloudInfrastructure(const AdversaryConfig& adversary)
+    : adversary_(adversary), rng_(adversary.seed) {}
+
+uint64_t CloudInfrastructure::PutBlob(const std::string& id,
+                                      const Bytes& data) {
+  ++stats_.blob_puts;
+  stats_.bytes_in += data.size();
+  return blobs_.Put(id, data);
+}
+
+Result<Bytes> CloudInfrastructure::GetBlob(const std::string& id) {
+  ++stats_.blob_gets;
+
+  // Rollback attack: serve an older version as if it were the latest.
+  if (adversary_.rollback_read_prob > 0 &&
+      rng_.NextBernoulli(adversary_.rollback_read_prob)) {
+    auto latest = blobs_.LatestVersion(id);
+    if (latest.ok() && *latest > 1) {
+      uint64_t stale = 1 + rng_.NextBelow(*latest - 1);
+      ++adversary_stats_.reads_rolled_back;
+      TC_ASSIGN_OR_RETURN(Bytes data, blobs_.GetVersion(id, stale));
+      stats_.bytes_out += data.size();
+      return data;
+    }
+  }
+
+  TC_ASSIGN_OR_RETURN(Bytes data, blobs_.Get(id));
+
+  // Tampering attack: flip a few bytes in flight.
+  if (adversary_.tamper_read_prob > 0 && !data.empty() &&
+      rng_.NextBernoulli(adversary_.tamper_read_prob)) {
+    ++adversary_stats_.reads_tampered;
+    size_t flips = 1 + rng_.NextBelow(3);
+    for (size_t i = 0; i < flips; ++i) {
+      data[rng_.NextBelow(data.size())] ^=
+          static_cast<uint8_t>(1 + rng_.NextBelow(255));
+    }
+  }
+  stats_.bytes_out += data.size();
+  return data;
+}
+
+Result<Bytes> CloudInfrastructure::GetBlobVersion(const std::string& id,
+                                                  uint64_t version) {
+  ++stats_.blob_gets;
+  TC_ASSIGN_OR_RETURN(Bytes data, blobs_.GetVersion(id, version));
+  stats_.bytes_out += data.size();
+  return data;
+}
+
+Result<uint64_t> CloudInfrastructure::LatestBlobVersion(
+    const std::string& id) const {
+  return blobs_.LatestVersion(id);
+}
+
+std::vector<std::string> CloudInfrastructure::ListBlobs(
+    const std::string& prefix) const {
+  return blobs_.List(prefix);
+}
+
+bool CloudInfrastructure::BlobExists(const std::string& id) const {
+  return blobs_.Exists(id);
+}
+
+uint64_t CloudInfrastructure::Send(const std::string& from,
+                                   const std::string& to,
+                                   const std::string& topic,
+                                   const Bytes& payload) {
+  ++stats_.messages_sent;
+  stats_.bytes_in += payload.size();
+  Message msg{next_message_id_++, from, to, topic, payload};
+
+  // Drop attack: the message silently disappears.
+  if (adversary_.drop_message_prob > 0 &&
+      rng_.NextBernoulli(adversary_.drop_message_prob)) {
+    ++adversary_stats_.messages_dropped;
+    return msg.id;
+  }
+  queues_[to].push_back(std::move(msg));
+  return next_message_id_ - 1;
+}
+
+std::vector<Message> CloudInfrastructure::Receive(
+    const std::string& recipient) {
+  std::vector<Message> out;
+  auto it = queues_.find(recipient);
+  if (it != queues_.end()) {
+    while (!it->second.empty()) {
+      out.push_back(std::move(it->second.front()));
+      it->second.pop_front();
+    }
+  }
+  // Replay attack: re-deliver a previously delivered message.
+  std::vector<Message>& history = delivered_history_[recipient];
+  if (adversary_.replay_message_prob > 0 && !history.empty() &&
+      rng_.NextBernoulli(adversary_.replay_message_prob)) {
+    ++adversary_stats_.messages_replayed;
+    out.push_back(history[rng_.NextBelow(history.size())]);
+  }
+  for (const Message& msg : out) {
+    stats_.bytes_out += msg.payload.size();
+    ++stats_.messages_delivered;
+  }
+  history.insert(history.end(), out.begin(), out.end());
+  // Cap replay history to bound memory in long simulations.
+  if (history.size() > 1024) {
+    history.erase(history.begin(), history.begin() + (history.size() - 1024));
+  }
+  return out;
+}
+
+size_t CloudInfrastructure::PendingCount(const std::string& recipient) const {
+  auto it = queues_.find(recipient);
+  return it == queues_.end() ? 0 : it->second.size();
+}
+
+}  // namespace tc::cloud

@@ -1,0 +1,108 @@
+#ifndef TC_CLOUD_INFRASTRUCTURE_H_
+#define TC_CLOUD_INFRASTRUCTURE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tc/common/bytes.h"
+#include "tc/common/result.h"
+#include "tc/common/rng.h"
+#include "tc/cloud/blob_store.h"
+
+namespace tc::cloud {
+
+/// Inter-cell message.
+struct Message {
+  uint64_t id = 0;
+  std::string from;
+  std::string to;
+  std::string topic;
+  Bytes payload;
+};
+
+/// Configuration of the weakly-malicious provider (paper threat model:
+/// "the infrastructure is assumed trying to cheat only if it cannot be
+/// convicted as an adversary"). Probabilities are per-operation.
+struct AdversaryConfig {
+  double tamper_read_prob = 0.0;    ///< Flip bytes in a blob read.
+  double rollback_read_prob = 0.0;  ///< Serve a stale version as latest.
+  double drop_message_prob = 0.0;   ///< Silently drop a message.
+  double replay_message_prob = 0.0; ///< Deliver an old message again.
+  uint64_t seed = 1;
+
+  static AdversaryConfig Honest() { return AdversaryConfig{}; }
+};
+
+/// Ground truth of what the adversary actually did (the experiment harness
+/// compares this with what cells *detected* to report detection rates).
+struct AdversaryStats {
+  uint64_t reads_tampered = 0;
+  uint64_t reads_rolled_back = 0;
+  uint64_t messages_dropped = 0;
+  uint64_t messages_replayed = 0;
+};
+
+/// Operation counters + simulated transfer accounting.
+struct CloudStats {
+  uint64_t blob_puts = 0;
+  uint64_t blob_gets = 0;
+  uint64_t messages_sent = 0;
+  uint64_t messages_delivered = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+};
+
+/// The untrusted infrastructure of the trusted-cells architecture:
+/// cloud blob storage + a store-and-forward message bus between cells,
+/// with an injectable weakly-malicious adversary.
+///
+/// Everything here sees only what a real provider would see: ciphertext
+/// blobs, message envelopes, timing and sizes. The adversary acts *inside*
+/// this layer (it IS the provider); the E8 experiment measures how reliably
+/// the cells' cryptographic checks convict it.
+class CloudInfrastructure {
+ public:
+  explicit CloudInfrastructure(
+      const AdversaryConfig& adversary = AdversaryConfig::Honest());
+
+  // ---- Blob storage ----
+  uint64_t PutBlob(const std::string& id, const Bytes& data);
+  /// Latest blob — possibly tampered or rolled back by the adversary.
+  Result<Bytes> GetBlob(const std::string& id);
+  Result<Bytes> GetBlobVersion(const std::string& id, uint64_t version);
+  Result<uint64_t> LatestBlobVersion(const std::string& id) const;
+  std::vector<std::string> ListBlobs(const std::string& prefix) const;
+  bool BlobExists(const std::string& id) const;
+
+  // ---- Messaging ----
+  uint64_t Send(const std::string& from, const std::string& to,
+                const std::string& topic, const Bytes& payload);
+  /// Delivers (and removes) all pending messages for `recipient`; the
+  /// adversary may have dropped some or replayed old ones.
+  std::vector<Message> Receive(const std::string& recipient);
+  size_t PendingCount(const std::string& recipient) const;
+
+  const CloudStats& stats() const { return stats_; }
+  const AdversaryStats& adversary_stats() const { return adversary_stats_; }
+  const AdversaryConfig& adversary_config() const { return adversary_; }
+  void set_adversary(const AdversaryConfig& config) { adversary_ = config; }
+
+  BlobStore& blob_store() { return blobs_; }
+
+ private:
+  BlobStore blobs_;
+  std::map<std::string, std::deque<Message>> queues_;
+  std::map<std::string, std::vector<Message>> delivered_history_;
+  AdversaryConfig adversary_;
+  AdversaryStats adversary_stats_;
+  CloudStats stats_;
+  Rng rng_;
+  uint64_t next_message_id_ = 1;
+};
+
+}  // namespace tc::cloud
+
+#endif  // TC_CLOUD_INFRASTRUCTURE_H_

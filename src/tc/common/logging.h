@@ -1,0 +1,42 @@
+#ifndef TC_COMMON_LOGGING_H_
+#define TC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace tc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Minimal leveled logger writing to stderr. Benchmarks raise the level to
+/// kError so measurement loops stay quiet.
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+  static void Write(LogLevel level, const std::string& msg);
+};
+
+namespace internal {
+
+/// Stream-collecting helper behind the TC_LOG macro.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Write(level_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace tc
+
+#define TC_LOG(level)                                                \
+  if (::tc::LogLevel::k##level < ::tc::Logger::level()) {            \
+  } else                                                             \
+    ::tc::internal::LogMessage(::tc::LogLevel::k##level).stream()
+
+#endif  // TC_COMMON_LOGGING_H_

@@ -1,0 +1,39 @@
+#ifndef TC_COMMON_MACROS_H_
+#define TC_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "tc/common/status.h"
+
+/// Propagates a non-OK Status to the caller.
+#define TC_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::tc::Status tc_status_ = (expr);             \
+    if (!tc_status_.ok()) return tc_status_;      \
+  } while (false)
+
+#define TC_CONCAT_IMPL(a, b) a##b
+#define TC_CONCAT(a, b) TC_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T>-returning expression; on success binds the value to
+/// `lhs`, on failure returns the error Status to the caller.
+#define TC_ASSIGN_OR_RETURN(lhs, expr)                             \
+  TC_ASSIGN_OR_RETURN_IMPL(TC_CONCAT(tc_result_, __LINE__), lhs, expr)
+
+#define TC_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr)  \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+/// Aborts on violated internal invariants (never on user input).
+#define TC_CHECK(cond)                                                    \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "TC_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#endif  // TC_COMMON_MACROS_H_

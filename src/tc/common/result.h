@@ -1,0 +1,75 @@
+#ifndef TC_COMMON_RESULT_H_
+#define TC_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "tc/common/macros.h"
+#include "tc/common/status.h"
+
+namespace tc {
+
+/// Either a value of type `T` or a non-OK `Status`.
+///
+/// Mirrors `arrow::Result` / `absl::StatusOr`. Accessing the value of an
+/// errored result aborts the process — use `ok()` first, or the
+/// `TC_ASSIGN_OR_RETURN` macro from macros.h.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return value;` in a Result-returning function.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK status: `return Status::NotFound(...);`.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      // An OK status carries no value; this is always a programming error.
+      std::abort();
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this result holds an error.
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) std::abort();
+  }
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace tc
+
+#endif  // TC_COMMON_RESULT_H_

@@ -1,0 +1,45 @@
+#include "tc/compute/dp.h"
+
+namespace tc::compute {
+
+Result<double> DifferentialPrivacy::LaplaceMechanism(double value,
+                                                     double sensitivity,
+                                                     double epsilon,
+                                                     Rng& rng) {
+  if (epsilon <= 0 || sensitivity <= 0) {
+    return Status::InvalidArgument("epsilon and sensitivity must be positive");
+  }
+  return value + rng.NextLaplace(sensitivity / epsilon);
+}
+
+Result<double> DifferentialPrivacy::PerturbSum(
+    const std::vector<double>& values, double sensitivity, double epsilon,
+    Rng& rng) {
+  double sum = 0;
+  for (double v : values) sum += v;
+  return LaplaceMechanism(sum, sensitivity, epsilon, rng);
+}
+
+Result<std::vector<double>> DifferentialPrivacy::LocalPerturb(
+    const std::vector<double>& values, double sensitivity, double epsilon,
+    Rng& rng) {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (double v : values) {
+    TC_ASSIGN_OR_RETURN(double noisy,
+                        LaplaceMechanism(v, sensitivity, epsilon, rng));
+    out.push_back(noisy);
+  }
+  return out;
+}
+
+Status PrivacyBudget::Consume(double epsilon) {
+  if (epsilon <= 0) return Status::InvalidArgument("epsilon must be positive");
+  if (spent_ + epsilon > total_ + 1e-12) {
+    return Status::ResourceExhausted("privacy budget exhausted");
+  }
+  spent_ += epsilon;
+  return Status::OK();
+}
+
+}  // namespace tc::compute

@@ -1,0 +1,57 @@
+#ifndef TC_COMPUTE_DP_H_
+#define TC_COMPUTE_DP_H_
+
+#include <vector>
+
+#include "tc/common/result.h"
+#include "tc/common/rng.h"
+
+namespace tc::compute {
+
+/// Differential-privacy primitives for the paper's "output perturbation"
+/// transformations: a cell (local model) or the querier-side cell of a
+/// distributed computation (central model) perturbs results before
+/// release, depending on "the trustworthiness of the recipient(s)".
+class DifferentialPrivacy {
+ public:
+  /// Laplace mechanism: value + Lap(sensitivity/epsilon).
+  static Result<double> LaplaceMechanism(double value, double sensitivity,
+                                         double epsilon, Rng& rng);
+
+  /// Central model: one noise draw on the exact sum.
+  static Result<double> PerturbSum(const std::vector<double>& values,
+                                   double sensitivity, double epsilon,
+                                   Rng& rng);
+
+  /// Local model: each cell randomizes before sending; returns the noisy
+  /// per-cell values. Same epsilon per cell; the aggregate error is
+  /// O(sqrt(n)) larger than the central model — the trade-off E5/E2
+  /// report.
+  static Result<std::vector<double>> LocalPerturb(
+      const std::vector<double>& values, double sensitivity, double epsilon,
+      Rng& rng);
+};
+
+/// Per-recipient privacy-budget ledger kept by a cell: queries draw from a
+/// finite epsilon budget; exhausted budgets deny further releases
+/// (mutability in UCON terms, applied to statistical release).
+class PrivacyBudget {
+ public:
+  explicit PrivacyBudget(double total_epsilon)
+      : total_(total_epsilon), spent_(0) {}
+
+  /// Tries to consume `epsilon`; fails with kResourceExhausted when the
+  /// remaining budget is insufficient.
+  Status Consume(double epsilon);
+
+  double remaining() const { return total_ - spent_; }
+  double spent() const { return spent_; }
+
+ private:
+  double total_;
+  double spent_;
+};
+
+}  // namespace tc::compute
+
+#endif  // TC_COMPUTE_DP_H_

@@ -1,0 +1,119 @@
+#include "tc/compute/kanon.h"
+
+#include <algorithm>
+#include <map>
+
+namespace tc::compute {
+namespace {
+
+constexpr int kAgeBuckets[] = {1, 5, 10, 20, 0};   // 0 = suppress ("*").
+constexpr int kZipDigits[] = {5, 4, 3, 2, 0};
+
+/// Information loss of a lattice node, normalized to [0, 1].
+double InfoLoss(int age_bucket, int zip_digits) {
+  double age_loss;
+  switch (age_bucket) {
+    case 1:
+      age_loss = 0.0;
+      break;
+    case 5:
+      age_loss = 0.25;
+      break;
+    case 10:
+      age_loss = 0.5;
+      break;
+    case 20:
+      age_loss = 0.75;
+      break;
+    default:
+      age_loss = 1.0;
+  }
+  double zip_loss = (5 - zip_digits) / 5.0;
+  return (age_loss + zip_loss) / 2.0;
+}
+
+}  // namespace
+
+std::string KAnonymizer::GeneralizeAge(int age, int bucket) {
+  if (bucket <= 0) return "*";
+  if (bucket == 1) return std::to_string(age);
+  int lo = (age / bucket) * bucket;
+  return "[" + std::to_string(lo) + "-" + std::to_string(lo + bucket - 1) +
+         "]";
+}
+
+std::string KAnonymizer::GeneralizeZip(const std::string& zip, int digits) {
+  std::string out = zip;
+  for (size_t i = digits; i < out.size(); ++i) out[i] = '*';
+  return out;
+}
+
+bool KAnonymizer::IsKAnonymous(const std::vector<GeneralizedRecord>& records,
+                               int k) {
+  std::map<std::pair<std::string, std::string>, int> classes;
+  for (const GeneralizedRecord& r : records) {
+    ++classes[{r.age_range, r.zip_prefix}];
+  }
+  for (const auto& [qi, count] : classes) {
+    if (count < k) return false;
+  }
+  return true;
+}
+
+Result<AnonymizationReport> KAnonymizer::Anonymize(
+    const std::vector<MicroRecord>& records, int k) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (records.empty()) return Status::InvalidArgument("no records");
+  if (static_cast<int>(records.size()) < k) {
+    return Status::FailedPrecondition(
+        "fewer records than k; release must be refused");
+  }
+
+  // Enumerate lattice nodes in increasing info loss, take the first that
+  // satisfies k-anonymity.
+  struct Node {
+    int age_bucket;
+    int zip_digits;
+    double loss;
+  };
+  std::vector<Node> nodes;
+  for (int age : kAgeBuckets) {
+    for (int zip : kZipDigits) {
+      nodes.push_back(Node{age, zip, InfoLoss(age, zip)});
+    }
+  }
+  std::sort(nodes.begin(), nodes.end(),
+            [](const Node& a, const Node& b) { return a.loss < b.loss; });
+
+  for (const Node& node : nodes) {
+    std::map<std::pair<std::string, std::string>, int> classes;
+    for (const MicroRecord& r : records) {
+      ++classes[{GeneralizeAge(r.age, node.age_bucket),
+                 GeneralizeZip(r.zip, node.zip_digits)}];
+    }
+    bool ok = true;
+    for (const auto& [qi, count] : classes) {
+      if (count < k) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+
+    AnonymizationReport report;
+    report.k = k;
+    report.age_bucket = node.age_bucket;
+    report.zip_digits = node.zip_digits;
+    report.info_loss = node.loss;
+    report.records.reserve(records.size());
+    for (const MicroRecord& r : records) {
+      report.records.push_back(GeneralizedRecord{
+          GeneralizeAge(r.age, node.age_bucket),
+          GeneralizeZip(r.zip, node.zip_digits), r.sensitive});
+    }
+    return report;
+  }
+  return Status::Internal("full suppression should always satisfy k");
+}
+
+}  // namespace tc::compute

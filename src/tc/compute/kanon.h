@@ -1,0 +1,60 @@
+#ifndef TC_COMPUTE_KANON_H_
+#define TC_COMPUTE_KANON_H_
+
+#include <string>
+#include <vector>
+
+#include "tc/common/result.h"
+
+namespace tc::compute {
+
+/// A microdata record contributed (under the kAggregate right) to a
+/// collective release — e.g. the paper's "epidemiological study
+/// cross-analyzing diseases and alimentation".
+struct MicroRecord {
+  int age = 0;
+  std::string zip;        ///< 5-digit postal code.
+  std::string sensitive;  ///< Disease, diet class, ...
+};
+
+/// A released (generalized) record.
+struct GeneralizedRecord {
+  std::string age_range;  ///< e.g. "[30-39]" or "*".
+  std::string zip_prefix; ///< e.g. "750**".
+  std::string sensitive;
+};
+
+struct AnonymizationReport {
+  int k = 0;                       ///< Achieved k (min class size).
+  int age_bucket = 0;              ///< Chosen age generalization (years).
+  int zip_digits = 0;              ///< Zip digits kept.
+  double info_loss = 0;            ///< 0 (none) .. 1 (fully suppressed).
+  std::vector<GeneralizedRecord> records;
+};
+
+/// k-anonymity by global recoding over a fixed generalization lattice:
+/// age buckets {1, 5, 10, 20, *} x zip prefixes {5, 4, 3, 2, 0}. Picks the
+/// cheapest lattice node (by information loss) that makes every
+/// (age, zip) equivalence class at least `k` strong.
+///
+/// This is the "collective action" transformation of the shared-commons
+/// requirement: individually harmless only after the cohort-level
+/// generalization, which the cells compute before anything reaches an
+/// untrusted recipient.
+class KAnonymizer {
+ public:
+  static Result<AnonymizationReport> Anonymize(
+      const std::vector<MicroRecord>& records, int k);
+
+  /// Verifies the k-anonymity property of a release.
+  static bool IsKAnonymous(const std::vector<GeneralizedRecord>& records,
+                           int k);
+
+  /// Rendering helpers (exposed for tests).
+  static std::string GeneralizeAge(int age, int bucket);
+  static std::string GeneralizeZip(const std::string& zip, int digits);
+};
+
+}  // namespace tc::compute
+
+#endif  // TC_COMPUTE_KANON_H_

@@ -1,0 +1,82 @@
+#ifndef TC_COMPUTE_SECURE_AGGREGATION_H_
+#define TC_COMPUTE_SECURE_AGGREGATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tc/common/result.h"
+#include "tc/common/rng.h"
+#include "tc/cloud/infrastructure.h"
+
+namespace tc::compute {
+
+/// Outcome of one aggregation round.
+struct AggregationOutcome {
+  int64_t sum = 0;
+  int contributors = 0;      ///< Cells whose value made it into the sum.
+  int dropouts = 0;          ///< Cells that went offline mid-round.
+  uint64_t messages = 0;     ///< Messages through the untrusted infra.
+  uint64_t bytes = 0;        ///< Payload bytes through the untrusted infra.
+  bool privacy_preserving = false;  ///< Infra never sees an individual value.
+};
+
+/// The three aggregation schemes of experiment E5 — the paper's "shared
+/// commons" computations ("pure SMC fashion or ... participation of the
+/// untrusted infrastructure"), plus the non-private baseline.
+///
+/// All schemes run their message flows through a CloudInfrastructure so
+/// traffic is measured identically. `values[i]` is cell i's private
+/// contribution (e.g. its daily kWh); the querier learns only the sum.
+class SecureAggregation {
+ public:
+  /// Baseline: cells send plaintext to a trusted aggregator via the cloud.
+  /// Cheap, but the infrastructure sees every individual value.
+  static Result<AggregationOutcome> RunCleartext(
+      cloud::CloudInfrastructure& cloud, const std::vector<int64_t>& values);
+
+  /// SMC-style additive masking with pairwise PRF masks (Bonawitz-style,
+  /// semi-honest, single-mask variant): cell i sends
+  /// v_i + sum_{j>i} m_ij - sum_{j<i} m_ij (mod 2^64). Masks cancel in the
+  /// sum. Cells that drop out after mask agreement are repaired in a
+  /// second round where survivors disclose their pairwise masks with the
+  /// dropped cells only.
+  ///
+  /// `pairwise_seeds` come from PairwiseChannels (one-time DH setup,
+  /// amortized across rounds); `round` diversifies the PRF. `dropout_rate`
+  /// knocks cells offline after masking (worst case for the protocol).
+  class PairwiseChannels;
+  static Result<AggregationOutcome> RunAdditiveMasking(
+      cloud::CloudInfrastructure& cloud, const std::vector<int64_t>& values,
+      const PairwiseChannels& channels, uint64_t round, double dropout_rate,
+      Rng& rng);
+
+  /// Homomorphic scheme: cells encrypt under the querier's Paillier key;
+  /// the *untrusted cloud* folds ciphertexts; only the querier decrypts.
+  /// `modulus_bits` sizes the Paillier key (>= 512).
+  static Result<AggregationOutcome> RunPaillier(
+      cloud::CloudInfrastructure& cloud, const std::vector<int64_t>& values,
+      size_t modulus_bits, double dropout_rate, Rng& rng);
+
+  /// One-time pairwise secret establishment between N cells.
+  ///
+  /// With `use_real_dh`, every pair runs finite-field DH (O(N^2) modexps —
+  /// the real setup cost, reported separately by the benchmark). Without
+  /// it, seeds are derived from a hash of the pair ids: a simulation
+  /// shortcut for large-N *per-round* measurements where setup is not the
+  /// object of study. DESIGN.md documents the substitution.
+  class PairwiseChannels {
+   public:
+    static PairwiseChannels Setup(int n, bool use_real_dh, uint64_t seed);
+    /// 32-byte seed shared by cells i and j (i != j); symmetric.
+    const Bytes& SeedFor(int i, int j) const;
+    int size() const { return n_; }
+
+   private:
+    int n_ = 0;
+    std::vector<Bytes> seeds_;  // Upper-triangular storage.
+  };
+};
+
+}  // namespace tc::compute
+
+#endif  // TC_COMPUTE_SECURE_AGGREGATION_H_

@@ -1,0 +1,53 @@
+#include "tc/crypto/aead.h"
+
+#include "tc/common/codec.h"
+#include "tc/crypto/aes_ctr.h"
+#include "tc/crypto/hkdf.h"
+#include "tc/crypto/hmac.h"
+
+namespace tc::crypto {
+namespace {
+
+Bytes MacInput(const Bytes& nonce, const Bytes& aad, const Bytes& ciphertext) {
+  BinaryWriter w;
+  w.PutRaw(nonce);
+  w.PutU64(aad.size());
+  w.PutRaw(aad);
+  w.PutRaw(ciphertext);
+  return w.Take();
+}
+
+}  // namespace
+
+Result<Bytes> AeadSeal(const Bytes& key, const Bytes& nonce, const Bytes& aad,
+                       const Bytes& plaintext) {
+  if (nonce.size() != kAeadNonceSize) {
+    return Status::InvalidArgument("AEAD nonce must be 12 bytes");
+  }
+  Bytes enc_key = DeriveKey(key, "tc.aead.enc");
+  Bytes mac_key = DeriveKey(key, "tc.aead.mac");
+  TC_ASSIGN_OR_RETURN(Bytes ciphertext, AesCtrCrypt(enc_key, nonce, plaintext));
+  Bytes tag = HmacSha256(mac_key, MacInput(nonce, aad, ciphertext));
+  Append(ciphertext, tag);
+  return ciphertext;
+}
+
+Result<Bytes> AeadOpen(const Bytes& key, const Bytes& nonce, const Bytes& aad,
+                       const Bytes& sealed) {
+  if (nonce.size() != kAeadNonceSize) {
+    return Status::InvalidArgument("AEAD nonce must be 12 bytes");
+  }
+  if (sealed.size() < kAeadTagSize) {
+    return Status::IntegrityViolation("sealed blob shorter than tag");
+  }
+  Bytes ciphertext(sealed.begin(), sealed.end() - kAeadTagSize);
+  Bytes tag(sealed.end() - kAeadTagSize, sealed.end());
+  Bytes enc_key = DeriveKey(key, "tc.aead.enc");
+  Bytes mac_key = DeriveKey(key, "tc.aead.mac");
+  if (!HmacVerify(mac_key, MacInput(nonce, aad, ciphertext), tag)) {
+    return Status::IntegrityViolation("AEAD tag mismatch");
+  }
+  return AesCtrCrypt(enc_key, nonce, ciphertext);
+}
+
+}  // namespace tc::crypto

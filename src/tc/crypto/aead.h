@@ -1,0 +1,34 @@
+#ifndef TC_CRYPTO_AEAD_H_
+#define TC_CRYPTO_AEAD_H_
+
+#include "tc/common/bytes.h"
+#include "tc/common/result.h"
+
+namespace tc::crypto {
+
+inline constexpr size_t kAeadNonceSize = 12;
+inline constexpr size_t kAeadTagSize = 32;
+
+/// Authenticated encryption with associated data, built as
+/// Encrypt-then-MAC: AES-256-CTR under an encryption subkey, then
+/// HMAC-SHA256 over nonce || aad_len || aad || ciphertext under an
+/// independent MAC subkey (both derived from `key` via HKDF).
+///
+/// This is the sealing primitive for everything a trusted cell hands to the
+/// untrusted infrastructure: vault documents, audit-log entries, sharing
+/// envelopes. The associated data binds context (document id, version,
+/// policy hash) so the weakly-malicious cloud cannot splice ciphertexts
+/// across contexts without detection.
+///
+/// Output layout: ciphertext || 32-byte tag.
+Result<Bytes> AeadSeal(const Bytes& key, const Bytes& nonce, const Bytes& aad,
+                       const Bytes& plaintext);
+
+/// Reverses AeadSeal. Fails with kIntegrityViolation on any forgery,
+/// truncation, nonce or AAD mismatch.
+Result<Bytes> AeadOpen(const Bytes& key, const Bytes& nonce, const Bytes& aad,
+                       const Bytes& sealed);
+
+}  // namespace tc::crypto
+
+#endif  // TC_CRYPTO_AEAD_H_

@@ -1,0 +1,500 @@
+#include "tc/crypto/bignum.h"
+
+#include <algorithm>
+
+#include "tc/common/macros.h"
+
+namespace tc::crypto {
+namespace {
+
+constexpr uint64_t kBase = 1ULL << 32;
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+BigInt::BigInt(uint64_t value) {
+  if (value != 0) {
+    limbs_.push_back(static_cast<uint32_t>(value));
+    if (value >> 32) limbs_.push_back(static_cast<uint32_t>(value >> 32));
+  }
+}
+
+void BigInt::Normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+Result<BigInt> BigInt::FromHex(std::string_view hex) {
+  BigInt out;
+  if (hex.empty()) return out;
+  // Parse from the least significant end, 8 hex digits per limb.
+  size_t pos = hex.size();
+  while (pos > 0) {
+    size_t start = pos >= 8 ? pos - 8 : 0;
+    uint32_t limb = 0;
+    for (size_t i = start; i < pos; ++i) {
+      int v = HexNibble(hex[i]);
+      if (v < 0) return Status::InvalidArgument("invalid hex digit");
+      limb = (limb << 4) | static_cast<uint32_t>(v);
+    }
+    out.limbs_.push_back(limb);
+    pos = start;
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::FromBytesBE(const Bytes& bytes) {
+  BigInt out;
+  size_t n = bytes.size();
+  out.limbs_.resize((n + 3) / 4, 0);
+  for (size_t i = 0; i < n; ++i) {
+    // bytes[n-1-i] is the i-th least significant byte.
+    out.limbs_[i / 4] |= static_cast<uint32_t>(bytes[n - 1 - i])
+                         << (8 * (i % 4));
+  }
+  out.Normalize();
+  return out;
+}
+
+Bytes BigInt::ToBytesBE() const {
+  if (IsZero()) return Bytes{0};
+  size_t bytes = (BitLength() + 7) / 8;
+  return ToBytesBE(bytes);
+}
+
+Bytes BigInt::ToBytesBE(size_t width) const {
+  TC_CHECK(BitLength() <= width * 8);
+  Bytes out(width, 0);
+  for (size_t i = 0; i < width; ++i) {
+    size_t limb = i / 4;
+    if (limb < limbs_.size()) {
+      out[width - 1 - i] =
+          static_cast<uint8_t>(limbs_[limb] >> (8 * (i % 4)));
+    }
+  }
+  return out;
+}
+
+std::string BigInt::ToHex() const {
+  if (IsZero()) return "0";
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    for (int shift = 28; shift >= 0; shift -= 4) {
+      out.push_back(kHex[(limbs_[i] >> shift) & 0xf]);
+    }
+  }
+  size_t first = out.find_first_not_of('0');
+  return out.substr(first);
+}
+
+uint64_t BigInt::ToU64() const {
+  TC_CHECK(limbs_.size() <= 2);
+  uint64_t v = 0;
+  if (limbs_.size() >= 1) v = limbs_[0];
+  if (limbs_.size() == 2) v |= static_cast<uint64_t>(limbs_[1]) << 32;
+  return v;
+}
+
+size_t BigInt::BitLength() const {
+  if (limbs_.empty()) return 0;
+  uint32_t top = limbs_.back();
+  size_t bits = (limbs_.size() - 1) * 32;
+  while (top) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::Bit(size_t i) const {
+  size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+int BigInt::Compare(const BigInt& a, const BigInt& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigInt BigInt::Add(const BigInt& a, const BigInt& b) {
+  BigInt out;
+  size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  out.limbs_.resize(n + 1, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t sum = carry;
+    if (i < a.limbs_.size()) sum += a.limbs_[i];
+    if (i < b.limbs_.size()) sum += b.limbs_[i];
+    out.limbs_[i] = static_cast<uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  out.limbs_[n] = static_cast<uint32_t>(carry);
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::Sub(const BigInt& a, const BigInt& b) {
+  TC_CHECK(Compare(a, b) >= 0);
+  BigInt out;
+  out.limbs_.resize(a.limbs_.size(), 0);
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(a.limbs_[i]) - borrow;
+    if (i < b.limbs_.size()) diff -= b.limbs_[i];
+    if (diff < 0) {
+      diff += static_cast<int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<uint32_t>(diff);
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::Mul(const BigInt& a, const BigInt& b) {
+  if (a.IsZero() || b.IsZero()) return BigInt();
+  BigInt out;
+  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    uint64_t ai = a.limbs_[i];
+    for (size_t j = 0; j < b.limbs_.size(); ++j) {
+      uint64_t cur = out.limbs_[i + j] + ai * b.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    size_t k = i + b.limbs_.size();
+    while (carry) {
+      uint64_t cur = out.limbs_[k] + carry;
+      out.limbs_[k] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::ShiftLeft(const BigInt& a, size_t bits) {
+  if (a.IsZero()) return BigInt();
+  size_t limb_shift = bits / 32;
+  size_t bit_shift = bits % 32;
+  BigInt out;
+  out.limbs_.assign(a.limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    uint64_t v = static_cast<uint64_t>(a.limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<uint32_t>(v);
+    out.limbs_[i + limb_shift + 1] |= static_cast<uint32_t>(v >> 32);
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::ShiftRight(const BigInt& a, size_t bits) {
+  size_t limb_shift = bits / 32;
+  size_t bit_shift = bits % 32;
+  if (limb_shift >= a.limbs_.size()) return BigInt();
+  BigInt out;
+  out.limbs_.assign(a.limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < out.limbs_.size(); ++i) {
+    uint64_t v = a.limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < a.limbs_.size()) {
+      v |= static_cast<uint64_t>(a.limbs_[i + limb_shift + 1])
+           << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<uint32_t>(v);
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::DivMod(const BigInt& a, const BigInt& b, BigInt* rem) {
+  TC_CHECK(!b.IsZero());
+  if (Compare(a, b) < 0) {
+    if (rem != nullptr) *rem = a;
+    return BigInt();
+  }
+  // Single-limb divisor: simple schoolbook.
+  if (b.limbs_.size() == 1) {
+    uint64_t d = b.limbs_[0];
+    BigInt q;
+    q.limbs_.resize(a.limbs_.size(), 0);
+    uint64_t r = 0;
+    for (size_t i = a.limbs_.size(); i-- > 0;) {
+      uint64_t cur = (r << 32) | a.limbs_[i];
+      q.limbs_[i] = static_cast<uint32_t>(cur / d);
+      r = cur % d;
+    }
+    q.Normalize();
+    if (rem != nullptr) *rem = BigInt(r);
+    return q;
+  }
+
+  // Knuth Algorithm D.
+  const size_t n = b.limbs_.size();
+  const size_t m = a.limbs_.size() - n;
+
+  // D1: normalize so the divisor's top limb has its high bit set.
+  int shift = 0;
+  uint32_t top = b.limbs_.back();
+  while ((top & 0x80000000u) == 0) {
+    top <<= 1;
+    ++shift;
+  }
+  BigInt u = ShiftLeft(a, shift);
+  BigInt v = ShiftLeft(b, shift);
+  u.limbs_.resize(a.limbs_.size() + 1, 0);  // Ensure u has m+n+1 limbs.
+  TC_CHECK(v.limbs_.size() == n);
+
+  BigInt q;
+  q.limbs_.assign(m + 1, 0);
+  const uint64_t vn1 = v.limbs_[n - 1];
+  const uint64_t vn2 = v.limbs_[n - 2];
+
+  for (size_t j = m + 1; j-- > 0;) {
+    // D3: estimate qhat.
+    uint64_t num = (static_cast<uint64_t>(u.limbs_[j + n]) << 32) |
+                   u.limbs_[j + n - 1];
+    uint64_t qhat = num / vn1;
+    uint64_t rhat = num % vn1;
+    while (qhat >= kBase ||
+           qhat * vn2 > ((rhat << 32) | u.limbs_[j + n - 2])) {
+      --qhat;
+      rhat += vn1;
+      if (rhat >= kBase) break;
+    }
+    // D4: multiply and subtract u[j..j+n] -= qhat * v.
+    int64_t borrow = 0;
+    uint64_t carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t p = qhat * v.limbs_[i] + carry;
+      carry = p >> 32;
+      int64_t t = static_cast<int64_t>(u.limbs_[i + j]) -
+                  static_cast<int64_t>(p & 0xffffffffu) - borrow;
+      if (t < 0) {
+        t += static_cast<int64_t>(kBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u.limbs_[i + j] = static_cast<uint32_t>(t);
+    }
+    int64_t t = static_cast<int64_t>(u.limbs_[j + n]) -
+                static_cast<int64_t>(carry) - borrow;
+    bool negative = t < 0;
+    u.limbs_[j + n] = static_cast<uint32_t>(t);
+
+    // D5/D6: if we subtracted too much, add one divisor back.
+    if (negative) {
+      --qhat;
+      uint64_t c = 0;
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t sum = static_cast<uint64_t>(u.limbs_[i + j]) + v.limbs_[i] + c;
+        u.limbs_[i + j] = static_cast<uint32_t>(sum);
+        c = sum >> 32;
+      }
+      u.limbs_[j + n] = static_cast<uint32_t>(u.limbs_[j + n] + c);
+    }
+    q.limbs_[j] = static_cast<uint32_t>(qhat);
+  }
+
+  q.Normalize();
+  if (rem != nullptr) {
+    BigInt r;
+    r.limbs_.assign(u.limbs_.begin(), u.limbs_.begin() + n);
+    r.Normalize();
+    *rem = ShiftRight(r, shift);
+  }
+  return q;
+}
+
+BigInt BigInt::Mod(const BigInt& a, const BigInt& m) {
+  BigInt rem;
+  DivMod(a, m, &rem);
+  return rem;
+}
+
+BigInt BigInt::ModAdd(const BigInt& a, const BigInt& b, const BigInt& m) {
+  BigInt sum = Add(a, b);
+  return Mod(sum, m);
+}
+
+BigInt BigInt::ModSub(const BigInt& a, const BigInt& b, const BigInt& m) {
+  BigInt ra = Mod(a, m);
+  BigInt rb = Mod(b, m);
+  if (Compare(ra, rb) >= 0) return Sub(ra, rb);
+  return Sub(Add(ra, m), rb);
+}
+
+BigInt BigInt::ModMul(const BigInt& a, const BigInt& b, const BigInt& m) {
+  return Mod(Mul(a, b), m);
+}
+
+BigInt BigInt::ModExp(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  TC_CHECK(!m.IsZero());
+  if (m.IsOne()) return BigInt();
+  BigInt result(1);
+  BigInt b = Mod(base, m);
+  size_t bits = exp.BitLength();
+  for (size_t i = bits; i-- > 0;) {
+    result = ModMul(result, result, m);
+    if (exp.Bit(i)) result = ModMul(result, b, m);
+  }
+  return result;
+}
+
+Result<BigInt> BigInt::ModInverse(const BigInt& a, const BigInt& m) {
+  // Extended Euclid with explicit sign tracking for the Bezout coefficient.
+  BigInt old_r = Mod(a, m);
+  BigInt r = m;
+  BigInt old_s(1);
+  BigInt s;
+  bool old_s_neg = false;
+  bool s_neg = false;
+
+  while (!r.IsZero()) {
+    BigInt rem;
+    BigInt q = DivMod(old_r, r, &rem);
+    old_r = r;
+    r = rem;
+
+    // new_s = old_s - q * s  (with signs).
+    BigInt qs = Mul(q, s);
+    BigInt new_s;
+    bool new_s_neg;
+    if (old_s_neg == s_neg) {
+      // old_s and q*s have the same sign: result sign depends on magnitude.
+      if (Compare(old_s, qs) >= 0) {
+        new_s = Sub(old_s, qs);
+        new_s_neg = old_s_neg;
+      } else {
+        new_s = Sub(qs, old_s);
+        new_s_neg = !old_s_neg;
+      }
+    } else {
+      new_s = Add(old_s, qs);
+      new_s_neg = old_s_neg;
+    }
+    old_s = s;
+    old_s_neg = s_neg;
+    s = new_s;
+    s_neg = new_s_neg;
+  }
+
+  if (!old_r.IsOne()) {
+    return Status::InvalidArgument("value not invertible modulo m");
+  }
+  BigInt inv = Mod(old_s, m);
+  if (old_s_neg && !inv.IsZero()) inv = Sub(m, inv);
+  return inv;
+}
+
+BigInt BigInt::Gcd(BigInt a, BigInt b) {
+  while (!b.IsZero()) {
+    BigInt r = Mod(a, b);
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+BigInt BigInt::RandomBelow(SecureRandom& rng, const BigInt& bound) {
+  TC_CHECK(!bound.IsZero());
+  size_t bits = bound.BitLength();
+  size_t bytes = (bits + 7) / 8;
+  while (true) {
+    Bytes raw = rng.NextBytes(bytes);
+    // Mask excess high bits to make rejection efficient.
+    size_t excess = bytes * 8 - bits;
+    if (excess > 0) raw[0] &= static_cast<uint8_t>(0xff >> excess);
+    BigInt candidate = FromBytesBE(raw);
+    if (Compare(candidate, bound) < 0) return candidate;
+  }
+}
+
+BigInt BigInt::RandomBits(SecureRandom& rng, size_t bits) {
+  TC_CHECK(bits >= 1);
+  size_t bytes = (bits + 7) / 8;
+  Bytes raw = rng.NextBytes(bytes);
+  size_t excess = bytes * 8 - bits;
+  raw[0] &= static_cast<uint8_t>(0xff >> excess);
+  raw[0] |= static_cast<uint8_t>(1 << ((bits - 1) % 8));  // Force top bit.
+  return FromBytesBE(raw);
+}
+
+bool BigInt::IsProbablePrime(const BigInt& n, SecureRandom& rng, int rounds) {
+  if (n.BitLength() <= 6) {
+    uint64_t v = n.ToU64();
+    for (uint64_t p : {2u, 3u, 5u, 7u, 11u, 13u, 17u, 19u, 23u, 29u, 31u,
+                       37u, 41u, 43u, 47u, 53u, 59u, 61u}) {
+      if (v == p) return true;
+      if (v % p == 0) return false;
+    }
+    return v > 1;
+  }
+  if (n.IsEven()) return false;
+  // Trial division by small primes first.
+  for (uint32_t p : {3u, 5u, 7u, 11u, 13u, 17u, 19u, 23u, 29u, 31u, 37u,
+                     41u, 43u, 47u, 53u, 59u, 61u, 67u, 71u, 73u, 79u, 83u,
+                     89u, 97u, 101u, 103u, 107u, 109u, 113u}) {
+    BigInt small(p);
+    if (n == small) return true;
+    BigInt rem;
+    DivMod(n, small, &rem);
+    if (rem.IsZero()) return false;
+  }
+
+  // n - 1 = d * 2^s with d odd.
+  BigInt n_minus_1 = Sub(n, BigInt(1));
+  BigInt d = n_minus_1;
+  size_t s = 0;
+  while (d.IsEven()) {
+    d = ShiftRight(d, 1);
+    ++s;
+  }
+
+  BigInt two(2);
+  BigInt n_minus_3 = Sub(n, BigInt(3));
+  for (int round = 0; round < rounds; ++round) {
+    // a uniform in [2, n-2].
+    BigInt a = Add(RandomBelow(rng, n_minus_3), two);
+    BigInt x = ModExp(a, d, n);
+    if (x.IsOne() || x == n_minus_1) continue;
+    bool composite = true;
+    for (size_t i = 1; i < s; ++i) {
+      x = ModMul(x, x, n);
+      if (x == n_minus_1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+BigInt BigInt::GeneratePrime(SecureRandom& rng, size_t bits) {
+  TC_CHECK(bits >= 8);
+  while (true) {
+    BigInt candidate = RandomBits(rng, bits);
+    if (candidate.IsEven()) candidate = Add(candidate, BigInt(1));
+    if (IsProbablePrime(candidate, rng)) return candidate;
+  }
+}
+
+}  // namespace tc::crypto

@@ -1,0 +1,29 @@
+#include "tc/crypto/dh.h"
+
+#include "tc/crypto/hkdf.h"
+
+namespace tc::crypto {
+
+DhKeyPair DiffieHellman::GenerateKeyPair(SecureRandom& rng) const {
+  // x uniform in [1, q-1].
+  BigInt x = BigInt::Add(
+      BigInt::RandomBelow(rng, BigInt::Sub(group_.q, BigInt(1))), BigInt(1));
+  return DhKeyPair{x, BigInt::ModExp(group_.g, x, group_.p)};
+}
+
+Result<Bytes> DiffieHellman::ComputeSharedKey(const BigInt& own_private,
+                                              const BigInt& peer_public) const {
+  BigInt two(2);
+  if (BigInt::Compare(peer_public, two) < 0 ||
+      BigInt::Compare(peer_public, BigInt::Sub(group_.p, two)) > 0) {
+    return Status::InvalidArgument("DH peer public key out of range");
+  }
+  if (!BigInt::ModExp(peer_public, group_.q, group_.p).IsOne()) {
+    return Status::InvalidArgument("DH peer key not in prime-order subgroup");
+  }
+  BigInt shared = BigInt::ModExp(peer_public, own_private, group_.p);
+  size_t width = (group_.p.BitLength() + 7) / 8;
+  return HkdfSha256(shared.ToBytesBE(width), /*salt=*/{}, "tc.dh.shared", 32);
+}
+
+}  // namespace tc::crypto

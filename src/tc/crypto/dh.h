@@ -1,0 +1,40 @@
+#ifndef TC_CRYPTO_DH_H_
+#define TC_CRYPTO_DH_H_
+
+#include "tc/common/bytes.h"
+#include "tc/common/result.h"
+#include "tc/crypto/group.h"
+
+namespace tc::crypto {
+
+/// Finite-field Diffie–Hellman key pair over a Schnorr group.
+struct DhKeyPair {
+  BigInt private_key;  ///< x, uniform in [1, q-1]. Never leaves the TEE.
+  BigInt public_key;   ///< g^x mod p. Published via the untrusted cloud.
+};
+
+/// Diffie–Hellman over GroupParams. This is how two trusted cells that have
+/// never met derive a pairwise secret through the untrusted infrastructure:
+/// for sharing-envelope wrap keys and for the pairwise masks of the secure
+/// aggregation protocol (tc::compute).
+class DiffieHellman {
+ public:
+  explicit DiffieHellman(const GroupParams& group) : group_(group) {}
+
+  DhKeyPair GenerateKeyPair(SecureRandom& rng) const;
+
+  /// g^(xy) mod p, then hashed through HKDF into a 32-byte symmetric key.
+  /// Fails if the peer key is outside [2, p-2] or not in the q-order
+  /// subgroup (small-subgroup attack check).
+  Result<Bytes> ComputeSharedKey(const BigInt& own_private,
+                                 const BigInt& peer_public) const;
+
+  const GroupParams& group() const { return group_; }
+
+ private:
+  const GroupParams& group_;
+};
+
+}  // namespace tc::crypto
+
+#endif  // TC_CRYPTO_DH_H_

@@ -1,0 +1,64 @@
+#include "tc/crypto/group.h"
+
+#include <map>
+#include <mutex>
+
+#include "tc/common/macros.h"
+
+namespace tc::crypto {
+
+GroupParams GroupParams::Generate(SecureRandom& rng, size_t p_bits,
+                                  size_t q_bits) {
+  TC_CHECK(p_bits > q_bits + 32);
+  BigInt q = BigInt::GeneratePrime(rng, q_bits);
+  const size_t r_bits = p_bits - q_bits;
+  while (true) {
+    // p = q * r + 1 with r even so that p is odd.
+    BigInt r = BigInt::RandomBits(rng, r_bits);
+    if (!r.IsEven()) r = BigInt::Add(r, BigInt(1));
+    BigInt p = BigInt::Add(BigInt::Mul(q, r), BigInt(1));
+    if (p.BitLength() != p_bits) continue;
+    if (!BigInt::IsProbablePrime(p, rng)) continue;
+    // g = h^((p-1)/q) mod p for random h; retry until g != 1.
+    BigInt exponent = r;  // (p - 1) / q == r.
+    while (true) {
+      BigInt h = BigInt::Add(
+          BigInt::RandomBelow(rng, BigInt::Sub(p, BigInt(3))), BigInt(2));
+      BigInt g = BigInt::ModExp(h, exponent, p);
+      if (!g.IsOne() && !g.IsZero()) {
+        return GroupParams{p, q, g};
+      }
+    }
+  }
+}
+
+bool GroupParams::Validate(SecureRandom& rng) const {
+  if (!BigInt::IsProbablePrime(p, rng)) return false;
+  if (!BigInt::IsProbablePrime(q, rng)) return false;
+  BigInt rem;
+  BigInt::DivMod(BigInt::Sub(p, BigInt(1)), q, &rem);
+  if (!rem.IsZero()) return false;
+  if (g.IsOne() || g.IsZero()) return false;
+  return BigInt::ModExp(g, q, p).IsOne();
+}
+
+const GroupParams& GroupParams::Standard(size_t p_bits) {
+  static std::mutex mu;
+  static std::map<size_t, GroupParams>* cache =
+      new std::map<size_t, GroupParams>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache->find(p_bits);
+  if (it != cache->end()) return it->second;
+  TC_CHECK(p_bits == 512 || p_bits == 768 || p_bits == 1024 ||
+           p_bits == 1536 || p_bits == 2048);
+  // Fixed seed per size: every process derives identical parameters.
+  Bytes seed = ToBytes("tc.group.params.v1");
+  seed.push_back(static_cast<uint8_t>(p_bits >> 8));
+  seed.push_back(static_cast<uint8_t>(p_bits));
+  SecureRandom rng(seed);
+  auto [pos, inserted] = cache->emplace(p_bits, Generate(rng, p_bits));
+  TC_CHECK(inserted);
+  return pos->second;
+}
+
+}  // namespace tc::crypto

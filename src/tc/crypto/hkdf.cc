@@ -1,0 +1,34 @@
+#include "tc/crypto/hkdf.h"
+
+#include "tc/common/macros.h"
+#include "tc/crypto/hmac.h"
+#include "tc/crypto/sha256.h"
+
+namespace tc::crypto {
+
+Bytes HkdfSha256(const Bytes& input_key, const Bytes& salt,
+                 std::string_view info, size_t length) {
+  TC_CHECK(length <= 255 * kSha256DigestSize);
+  // Extract.
+  Bytes actual_salt = salt.empty() ? Bytes(kSha256DigestSize, 0) : salt;
+  Bytes prk = HmacSha256(actual_salt, input_key);
+  // Expand.
+  Bytes okm;
+  Bytes t;
+  uint8_t counter = 1;
+  while (okm.size() < length) {
+    Bytes block = t;
+    block.insert(block.end(), info.begin(), info.end());
+    block.push_back(counter++);
+    t = HmacSha256(prk, block);
+    Append(okm, t);
+  }
+  okm.resize(length);
+  return okm;
+}
+
+Bytes DeriveKey(const Bytes& parent, std::string_view label, size_t length) {
+  return HkdfSha256(parent, /*salt=*/{}, label, length);
+}
+
+}  // namespace tc::crypto

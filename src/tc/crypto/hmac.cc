@@ -1,0 +1,33 @@
+#include "tc/crypto/hmac.h"
+
+#include "tc/crypto/sha256.h"
+
+namespace tc::crypto {
+
+Bytes HmacSha256(const Bytes& key, const Bytes& message) {
+  constexpr size_t kBlockSize = 64;
+  Bytes k = key;
+  if (k.size() > kBlockSize) k = Sha256Hash(k);
+  k.resize(kBlockSize, 0);
+
+  Bytes ipad(kBlockSize), opad(kBlockSize);
+  for (size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+  Sha256 inner;
+  inner.Update(ipad);
+  inner.Update(message);
+  Bytes inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(opad);
+  outer.Update(inner_digest);
+  return outer.Finish();
+}
+
+bool HmacVerify(const Bytes& key, const Bytes& message, const Bytes& tag) {
+  return ConstantTimeEqual(HmacSha256(key, message), tag);
+}
+
+}  // namespace tc::crypto

@@ -1,0 +1,17 @@
+#ifndef TC_CRYPTO_HMAC_H_
+#define TC_CRYPTO_HMAC_H_
+
+#include "tc/common/bytes.h"
+
+namespace tc::crypto {
+
+/// HMAC-SHA256 (RFC 2104). Keys of any length are accepted (hashed down if
+/// longer than the 64-byte block size).
+Bytes HmacSha256(const Bytes& key, const Bytes& message);
+
+/// Verifies a tag in constant time.
+bool HmacVerify(const Bytes& key, const Bytes& message, const Bytes& tag);
+
+}  // namespace tc::crypto
+
+#endif  // TC_CRYPTO_HMAC_H_

@@ -1,0 +1,82 @@
+#include "tc/crypto/merkle.h"
+
+#include "tc/crypto/sha256.h"
+
+namespace tc::crypto {
+namespace {
+
+Bytes HashNode(const Bytes& left, const Bytes& right) {
+  Sha256 h;
+  uint8_t tag = 0x01;
+  h.Update(&tag, 1);
+  h.Update(left);
+  h.Update(right);
+  return h.Finish();
+}
+
+}  // namespace
+
+Bytes MerkleTree::HashLeaf(const Bytes& data) {
+  Sha256 h;
+  uint8_t tag = 0x00;
+  h.Update(&tag, 1);
+  h.Update(data);
+  return h.Finish();
+}
+
+Result<MerkleTree> MerkleTree::Build(const std::vector<Bytes>& leaves) {
+  if (leaves.empty()) {
+    return Status::InvalidArgument("Merkle tree needs at least one leaf");
+  }
+  MerkleTree tree;
+  tree.leaf_count_ = leaves.size();
+  std::vector<Bytes> level;
+  level.reserve(leaves.size());
+  for (const Bytes& leaf : leaves) level.push_back(HashLeaf(leaf));
+  tree.levels_.push_back(level);
+  while (tree.levels_.back().size() > 1) {
+    const std::vector<Bytes>& prev = tree.levels_.back();
+    std::vector<Bytes> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (size_t i = 0; i < prev.size(); i += 2) {
+      if (i + 1 < prev.size()) {
+        next.push_back(HashNode(prev[i], prev[i + 1]));
+      } else {
+        // Odd node is promoted (no duplication, avoiding the CVE-style
+        // ambiguity of doubling the last element).
+        next.push_back(prev[i]);
+      }
+    }
+    tree.levels_.push_back(std::move(next));
+  }
+  return tree;
+}
+
+Result<MerkleProof> MerkleTree::Prove(size_t index) const {
+  if (index >= leaf_count_) {
+    return Status::OutOfRange("Merkle leaf index out of range");
+  }
+  MerkleProof proof;
+  size_t pos = index;
+  for (size_t depth = 0; depth + 1 < levels_.size(); ++depth) {
+    const std::vector<Bytes>& level = levels_[depth];
+    size_t sibling = (pos % 2 == 0) ? pos + 1 : pos - 1;
+    if (sibling < level.size()) {
+      proof.push_back(MerkleProofStep{level[sibling], sibling < pos});
+    }
+    pos /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::Verify(const Bytes& root, const Bytes& leaf_data,
+                        const MerkleProof& proof) {
+  Bytes hash = HashLeaf(leaf_data);
+  for (const MerkleProofStep& step : proof) {
+    hash = step.sibling_is_left ? HashNode(step.sibling, hash)
+                                : HashNode(hash, step.sibling);
+  }
+  return ConstantTimeEqual(hash, root);
+}
+
+}  // namespace tc::crypto

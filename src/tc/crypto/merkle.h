@@ -1,0 +1,56 @@
+#ifndef TC_CRYPTO_MERKLE_H_
+#define TC_CRYPTO_MERKLE_H_
+
+#include <vector>
+
+#include "tc/common/bytes.h"
+#include "tc/common/result.h"
+
+namespace tc::crypto {
+
+/// One step of a Merkle inclusion proof: the sibling hash and whether it
+/// sits to the left of the running hash.
+struct MerkleProofStep {
+  Bytes sibling;
+  bool sibling_is_left;
+};
+
+using MerkleProof = std::vector<MerkleProofStep>;
+
+/// Binary SHA-256 Merkle tree with domain-separated leaf/node hashing
+/// (second-preimage hardening: leaf = H(0x00 || data),
+/// node = H(0x01 || left || right)).
+///
+/// Every manifest a trusted cell pushes to the untrusted cloud is rooted
+/// here; the root lives in the cell's tamper-resistant memory (together
+/// with a monotonic version counter), which is what lets a cell *convict*
+/// the weakly-malicious infrastructure of tampering or rollback (E8).
+class MerkleTree {
+ public:
+  /// Builds a tree over the given leaf payloads (at least one).
+  static Result<MerkleTree> Build(const std::vector<Bytes>& leaves);
+
+  const Bytes& root() const { return levels_.back()[0]; }
+  size_t leaf_count() const { return leaf_count_; }
+
+  /// Inclusion proof for leaf `index`.
+  Result<MerkleProof> Prove(size_t index) const;
+
+  /// Verifies that `leaf_data` is the `index`-independent leaf committed
+  /// under `root` via `proof`.
+  static bool Verify(const Bytes& root, const Bytes& leaf_data,
+                     const MerkleProof& proof);
+
+  /// Leaf hash H(0x00 || data), exposed for callers that store leaf hashes.
+  static Bytes HashLeaf(const Bytes& data);
+
+ private:
+  MerkleTree() = default;
+  size_t leaf_count_ = 0;
+  // levels_[0] = leaf hashes, levels_.back() = {root}.
+  std::vector<std::vector<Bytes>> levels_;
+};
+
+}  // namespace tc::crypto
+
+#endif  // TC_CRYPTO_MERKLE_H_

@@ -1,0 +1,79 @@
+#include "tc/crypto/paillier.h"
+
+#include "tc/common/macros.h"
+
+namespace tc::crypto {
+namespace {
+
+/// L(x) = (x - 1) / n, defined on x ≡ 1 (mod n).
+BigInt LFunction(const BigInt& x, const BigInt& n) {
+  return BigInt::DivMod(BigInt::Sub(x, BigInt(1)), n, nullptr);
+}
+
+}  // namespace
+
+Result<BigInt> PaillierPublicKey::Encrypt(const BigInt& m,
+                                          SecureRandom& rng) const {
+  if (BigInt::Compare(m, n) >= 0) {
+    return Status::InvalidArgument("Paillier plaintext must be < n");
+  }
+  // g = n + 1, so g^m = 1 + m*n (mod n^2): one multiplication, no modexp.
+  BigInt gm = BigInt::Mod(BigInt::Add(BigInt(1), BigInt::Mul(m, n)),
+                          n_squared);
+  // r uniform in [1, n) with gcd(r, n) = 1 (overwhelmingly true for an RSA
+  // modulus; retry otherwise).
+  BigInt r;
+  do {
+    r = BigInt::Add(BigInt::RandomBelow(rng, BigInt::Sub(n, BigInt(1))),
+                    BigInt(1));
+  } while (!BigInt::Gcd(r, n).IsOne());
+  BigInt rn = BigInt::ModExp(r, n, n_squared);
+  return BigInt::ModMul(gm, rn, n_squared);
+}
+
+BigInt PaillierPublicKey::AddCiphertexts(const BigInt& c1,
+                                         const BigInt& c2) const {
+  return BigInt::ModMul(c1, c2, n_squared);
+}
+
+BigInt PaillierPublicKey::MulPlaintext(const BigInt& c, const BigInt& k) const {
+  return BigInt::ModExp(c, k, n_squared);
+}
+
+Result<BigInt> PaillierPrivateKey::Decrypt(const BigInt& c,
+                                           const PaillierPublicKey& pub) const {
+  if (BigInt::Compare(c, pub.n_squared) >= 0) {
+    return Status::InvalidArgument("Paillier ciphertext out of range");
+  }
+  BigInt u = BigInt::ModExp(c, lambda, pub.n_squared);
+  return BigInt::ModMul(LFunction(u, pub.n), mu, pub.n);
+}
+
+PaillierKeyPair Paillier::GenerateKeyPair(SecureRandom& rng,
+                                          size_t modulus_bits) {
+  TC_CHECK(modulus_bits >= 64 && modulus_bits % 2 == 0);
+  const size_t prime_bits = modulus_bits / 2;
+  while (true) {
+    BigInt p = BigInt::GeneratePrime(rng, prime_bits);
+    BigInt q = BigInt::GeneratePrime(rng, prime_bits);
+    if (p == q) continue;
+    BigInt n = BigInt::Mul(p, q);
+    if (n.BitLength() != modulus_bits) continue;
+
+    BigInt p1 = BigInt::Sub(p, BigInt(1));
+    BigInt q1 = BigInt::Sub(q, BigInt(1));
+    BigInt gcd = BigInt::Gcd(p1, q1);
+    BigInt lambda = BigInt::Mul(BigInt::DivMod(p1, gcd, nullptr), q1);
+
+    PaillierPublicKey pub{n, BigInt::Mul(n, n)};
+    // mu = (L(g^lambda mod n^2))^-1 mod n; with g = n+1 this always exists
+    // when gcd(n, lambda) = 1, which holds for distinct odd primes.
+    BigInt u = BigInt::ModExp(BigInt::Add(n, BigInt(1)), lambda,
+                              pub.n_squared);
+    auto mu = BigInt::ModInverse(LFunction(u, n), n);
+    if (!mu.ok()) continue;
+    return PaillierKeyPair{pub, PaillierPrivateKey{lambda, *mu}};
+  }
+}
+
+}  // namespace tc::crypto

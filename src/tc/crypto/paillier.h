@@ -1,0 +1,56 @@
+#ifndef TC_CRYPTO_PAILLIER_H_
+#define TC_CRYPTO_PAILLIER_H_
+
+#include "tc/common/bytes.h"
+#include "tc/common/result.h"
+#include "tc/crypto/bignum.h"
+
+namespace tc::crypto {
+
+/// Paillier public key (n = p*q, operating modulo n^2, generator g = n+1).
+struct PaillierPublicKey {
+  BigInt n;
+  BigInt n_squared;
+
+  /// Encrypts m in [0, n) with fresh randomness r in Z_n^*.
+  Result<BigInt> Encrypt(const BigInt& m, SecureRandom& rng) const;
+
+  /// Homomorphic addition: Dec(AddCiphertexts(c1, c2)) = m1 + m2 mod n.
+  BigInt AddCiphertexts(const BigInt& c1, const BigInt& c2) const;
+
+  /// Homomorphic scalar multiply: Dec(c^k) = k * m mod n.
+  BigInt MulPlaintext(const BigInt& c, const BigInt& k) const;
+};
+
+/// Paillier private key (CRT-free textbook form: lambda, mu).
+struct PaillierPrivateKey {
+  BigInt lambda;  ///< lcm(p-1, q-1).
+  BigInt mu;      ///< (L(g^lambda mod n^2))^-1 mod n.
+
+  Result<BigInt> Decrypt(const BigInt& c, const PaillierPublicKey& pub) const;
+};
+
+struct PaillierKeyPair {
+  PaillierPublicKey pub;
+  PaillierPrivateKey priv;
+};
+
+/// Additively homomorphic Paillier cryptosystem.
+///
+/// In the shared-commons experiments (E5) this is the
+/// "infrastructure-assisted" aggregation scheme: each cell encrypts its
+/// contribution under the querier's public key, the untrusted cloud folds
+/// ciphertexts homomorphically, and only the querier's trusted cell can
+/// decrypt the final sum — the infrastructure never sees an individual
+/// reading.
+class Paillier {
+ public:
+  /// Generates a key pair with `modulus_bits`-bit n (two primes of half
+  /// that size). 512/1024 bits used in tests, up to 2048 in benchmarks.
+  static PaillierKeyPair GenerateKeyPair(SecureRandom& rng,
+                                         size_t modulus_bits);
+};
+
+}  // namespace tc::crypto
+
+#endif  // TC_CRYPTO_PAILLIER_H_

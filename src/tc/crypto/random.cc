@@ -1,0 +1,50 @@
+#include "tc/crypto/random.h"
+
+#include "tc/crypto/hmac.h"
+#include "tc/crypto/sha256.h"
+
+namespace tc::crypto {
+
+SecureRandom::SecureRandom(const Bytes& seed)
+    : key_(kSha256DigestSize, 0x00), v_(kSha256DigestSize, 0x01) {
+  Update(seed);
+}
+
+void SecureRandom::Update(const Bytes& provided) {
+  // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V)
+  Bytes input = v_;
+  input.push_back(0x00);
+  Append(input, provided);
+  key_ = HmacSha256(key_, input);
+  v_ = HmacSha256(key_, v_);
+  if (!provided.empty()) {
+    input = v_;
+    input.push_back(0x01);
+    Append(input, provided);
+    key_ = HmacSha256(key_, input);
+    v_ = HmacSha256(key_, v_);
+  }
+}
+
+Bytes SecureRandom::NextBytes(size_t n) {
+  Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    v_ = HmacSha256(key_, v_);
+    size_t take = std::min(n - out.size(), v_.size());
+    out.insert(out.end(), v_.begin(), v_.begin() + take);
+  }
+  Update({});
+  return out;
+}
+
+uint64_t SecureRandom::NextU64() {
+  Bytes b = NextBytes(8);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(b[i]) << (8 * i);
+  return v;
+}
+
+void SecureRandom::Reseed(const Bytes& entropy) { Update(entropy); }
+
+}  // namespace tc::crypto

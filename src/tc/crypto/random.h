@@ -1,0 +1,36 @@
+#ifndef TC_CRYPTO_RANDOM_H_
+#define TC_CRYPTO_RANDOM_H_
+
+#include <cstdint>
+
+#include "tc/common/bytes.h"
+
+namespace tc::crypto {
+
+/// Deterministic random bit generator in the style of HMAC-DRBG
+/// (NIST SP 800-90A). Each simulated TEE owns one instance seeded from its
+/// device secret, which keeps whole-platform runs reproducible while keeping
+/// the key-generation code path identical to a hardware TRNG-backed build.
+class SecureRandom {
+ public:
+  /// Seeds the generator. Any seed length is accepted.
+  explicit SecureRandom(const Bytes& seed);
+
+  /// Returns `n` bytes of DRBG output.
+  Bytes NextBytes(size_t n);
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// Mixes fresh entropy into the state (prediction resistance).
+  void Reseed(const Bytes& entropy);
+
+ private:
+  void Update(const Bytes& provided);
+  Bytes key_;  // 32 bytes.
+  Bytes v_;    // 32 bytes.
+};
+
+}  // namespace tc::crypto
+
+#endif  // TC_CRYPTO_RANDOM_H_

@@ -1,0 +1,50 @@
+#ifndef TC_CRYPTO_SCHNORR_H_
+#define TC_CRYPTO_SCHNORR_H_
+
+#include "tc/common/bytes.h"
+#include "tc/common/result.h"
+#include "tc/crypto/group.h"
+
+namespace tc::crypto {
+
+/// A Schnorr signature (challenge-response pair, both reduced mod q).
+struct SchnorrSignature {
+  BigInt e;  ///< Challenge = H(R || message) mod q.
+  BigInt s;  ///< Response = k - x*e mod q.
+
+  Bytes Serialize(size_t q_width) const;
+  static Result<SchnorrSignature> Deserialize(const Bytes& data);
+};
+
+struct SchnorrKeyPair {
+  BigInt private_key;  ///< x in [1, q-1].
+  BigInt public_key;   ///< y = g^x mod p.
+};
+
+/// Schnorr signatures over GroupParams (the classic scheme, hash SHA-256).
+///
+/// Used wherever the paper requires certification: the power meter's
+/// "certified time series of readings" to the utility, attestation quotes
+/// from the simulated TEE, and provenance on sharing envelopes.
+class Schnorr {
+ public:
+  explicit Schnorr(const GroupParams& group) : group_(group) {}
+
+  SchnorrKeyPair GenerateKeyPair(SecureRandom& rng) const;
+
+  SchnorrSignature Sign(const BigInt& private_key, const Bytes& message,
+                        SecureRandom& rng) const;
+
+  bool Verify(const BigInt& public_key, const Bytes& message,
+              const SchnorrSignature& sig) const;
+
+  const GroupParams& group() const { return group_; }
+
+ private:
+  BigInt Challenge(const BigInt& r, const Bytes& message) const;
+  const GroupParams& group_;
+};
+
+}  // namespace tc::crypto
+
+#endif  // TC_CRYPTO_SCHNORR_H_

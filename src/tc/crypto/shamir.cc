@@ -1,0 +1,103 @@
+#include "tc/crypto/shamir.h"
+
+#include "tc/common/macros.h"
+
+namespace tc::crypto {
+
+const BigInt& ShamirSecretSharing::FieldPrime() {
+  // Smallest prime above 2^259 found deterministically at start-up; any
+  // prime > 2^256 works, it only needs to be the same for split and
+  // reconstruct (it is process-invariant by construction).
+  static const BigInt* kPrime = [] {
+    SecureRandom rng(ToBytes("tc.shamir.prime.v1"));
+    BigInt candidate = BigInt::ShiftLeft(BigInt(1), 259);
+    candidate = BigInt::Add(candidate, BigInt(1));
+    while (!BigInt::IsProbablePrime(candidate, rng)) {
+      candidate = BigInt::Add(candidate, BigInt(2));
+    }
+    return new BigInt(candidate);
+  }();
+  return *kPrime;
+}
+
+Result<std::vector<ShamirShare>> ShamirSecretSharing::Split(
+    const BigInt& secret, int threshold, int share_count, SecureRandom& rng) {
+  if (threshold < 1 || threshold > share_count) {
+    return Status::InvalidArgument("invalid Shamir threshold");
+  }
+  const BigInt& p = FieldPrime();
+  if (BigInt::Compare(secret, p) >= 0) {
+    return Status::InvalidArgument("secret too large for Shamir field");
+  }
+  // f(x) = secret + a1 x + ... + a_{t-1} x^{t-1} mod p.
+  std::vector<BigInt> coeffs;
+  coeffs.push_back(secret);
+  for (int i = 1; i < threshold; ++i) {
+    coeffs.push_back(BigInt::RandomBelow(rng, p));
+  }
+  std::vector<ShamirShare> shares;
+  shares.reserve(share_count);
+  for (int i = 1; i <= share_count; ++i) {
+    // Horner evaluation at x = i.
+    BigInt x(static_cast<uint64_t>(i));
+    BigInt y;
+    for (size_t c = coeffs.size(); c-- > 0;) {
+      y = BigInt::ModAdd(BigInt::ModMul(y, x, p), coeffs[c], p);
+    }
+    shares.push_back(ShamirShare{static_cast<uint32_t>(i), y});
+  }
+  return shares;
+}
+
+Result<std::vector<ShamirShare>> ShamirSecretSharing::SplitKey(
+    const Bytes& key32, int threshold, int share_count, SecureRandom& rng) {
+  if (key32.size() != 32) {
+    return Status::InvalidArgument("SplitKey expects a 32-byte key");
+  }
+  return Split(BigInt::FromBytesBE(key32), threshold, share_count, rng);
+}
+
+Result<BigInt> ShamirSecretSharing::Reconstruct(
+    const std::vector<ShamirShare>& shares) {
+  if (shares.empty()) {
+    return Status::InvalidArgument("no shares supplied");
+  }
+  const BigInt& p = FieldPrime();
+  for (size_t i = 0; i < shares.size(); ++i) {
+    for (size_t j = i + 1; j < shares.size(); ++j) {
+      if (shares[i].x == shares[j].x) {
+        return Status::InvalidArgument("duplicate share index");
+      }
+    }
+  }
+  // Lagrange interpolation at 0: sum_i y_i * prod_{j!=i} x_j / (x_j - x_i).
+  BigInt secret;
+  for (size_t i = 0; i < shares.size(); ++i) {
+    BigInt num(1), den(1);
+    BigInt xi(static_cast<uint64_t>(shares[i].x));
+    for (size_t j = 0; j < shares.size(); ++j) {
+      if (i == j) continue;
+      BigInt xj(static_cast<uint64_t>(shares[j].x));
+      num = BigInt::ModMul(num, xj, p);
+      den = BigInt::ModMul(den, BigInt::ModSub(xj, xi, p), p);
+    }
+    TC_ASSIGN_OR_RETURN(BigInt den_inv, BigInt::ModInverse(den, p));
+    BigInt term = BigInt::ModMul(shares[i].y, BigInt::ModMul(num, den_inv, p),
+                                 p);
+    secret = BigInt::ModAdd(secret, term, p);
+  }
+  return secret;
+}
+
+Result<Bytes> ShamirSecretSharing::ReconstructKey(
+    const std::vector<ShamirShare>& shares) {
+  TC_ASSIGN_OR_RETURN(BigInt secret, Reconstruct(shares));
+  if (secret.BitLength() > 256) {
+    return Status::IntegrityViolation(
+        "reconstructed value does not fit a 32-byte key (insufficient or "
+        "corrupt shares)");
+  }
+  return secret.ToBytesBE(32);
+}
+
+}  // namespace tc::crypto

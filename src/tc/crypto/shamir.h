@@ -1,0 +1,56 @@
+#ifndef TC_CRYPTO_SHAMIR_H_
+#define TC_CRYPTO_SHAMIR_H_
+
+#include <vector>
+
+#include "tc/common/bytes.h"
+#include "tc/common/result.h"
+#include "tc/crypto/bignum.h"
+
+namespace tc::crypto {
+
+/// One share of a secret: the evaluation point x (1-based participant
+/// index) and the polynomial value y = f(x) mod p.
+struct ShamirShare {
+  uint32_t x;
+  BigInt y;
+};
+
+/// Shamir secret sharing over GF(p) with a fixed 260-bit prime.
+///
+/// The paper requires that "master secrets must be restorable in case of
+/// crash/loss of a trusted cell" and that a compromise of a small set of
+/// cells "cannot degenerate in breaking class attack". Threshold sharing of
+/// each cell's master key among guardian cells gives exactly that: any
+/// `threshold` guardians restore, any fewer learn information-theoretically
+/// nothing. Also reused by the secure-aggregation dropout-recovery protocol.
+class ShamirSecretSharing {
+ public:
+  /// The field prime (fixed, > 2^256 so 32-byte keys embed directly).
+  static const BigInt& FieldPrime();
+
+  /// Splits `secret` (< FieldPrime()) into `share_count` shares, any
+  /// `threshold` of which reconstruct it. 1 <= threshold <= share_count.
+  static Result<std::vector<ShamirShare>> Split(const BigInt& secret,
+                                                int threshold, int share_count,
+                                                SecureRandom& rng);
+
+  /// Convenience for splitting a 32-byte symmetric key.
+  static Result<std::vector<ShamirShare>> SplitKey(const Bytes& key32,
+                                                   int threshold,
+                                                   int share_count,
+                                                   SecureRandom& rng);
+
+  /// Lagrange interpolation at x = 0 over any >= threshold distinct shares.
+  /// (With fewer than threshold shares this returns a value that is
+  /// information-theoretically independent of the secret; callers cannot
+  /// detect insufficiency from the output alone.)
+  static Result<BigInt> Reconstruct(const std::vector<ShamirShare>& shares);
+
+  /// Reconstructs a 32-byte key split with SplitKey.
+  static Result<Bytes> ReconstructKey(const std::vector<ShamirShare>& shares);
+};
+
+}  // namespace tc::crypto
+
+#endif  // TC_CRYPTO_SHAMIR_H_

@@ -1,0 +1,49 @@
+#ifndef TC_DB_KEYWORD_INDEX_H_
+#define TC_DB_KEYWORD_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "tc/common/result.h"
+#include "tc/storage/log_store.h"
+
+namespace tc::db {
+
+/// Persistent inverted keyword index over document ids.
+///
+/// Implements the paper's "extract metadata, index it and provide query
+/// facilities on it": the cell indexes document metadata locally so that
+/// queries run *before* anything is fetched from the untrusted cloud.
+/// Posting lists are delta-compressed sorted id lists, one LogStore record
+/// per term ("k/<term>").
+class KeywordIndex {
+ public:
+  explicit KeywordIndex(storage::LogStore* store);
+
+  /// Tokenizes `text` and adds `doc_id` to every term's posting list.
+  Status IndexDocument(uint64_t doc_id, const std::string& text);
+
+  /// Removes `doc_id` from the posting lists of the terms of `text`.
+  Status RemoveDocument(uint64_t doc_id, const std::string& text);
+
+  /// Sorted doc ids containing `term` (empty if none).
+  Result<std::vector<uint64_t>> Search(const std::string& term) const;
+
+  /// Docs containing every term (conjunctive query).
+  Result<std::vector<uint64_t>> SearchAnd(
+      const std::vector<std::string>& terms) const;
+
+  /// Lower-cased alphanumeric tokens of `text`, deduplicated.
+  static std::vector<std::string> Tokenize(const std::string& text);
+
+ private:
+  static std::string TermKey(const std::string& term);
+  static Bytes EncodePostings(const std::vector<uint64_t>& ids);
+  static Result<std::vector<uint64_t>> DecodePostings(const Bytes& data);
+
+  storage::LogStore* store_;
+};
+
+}  // namespace tc::db
+
+#endif  // TC_DB_KEYWORD_INDEX_H_

@@ -1,0 +1,214 @@
+#include "tc/db/query.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace tc::db {
+
+Predicate& Predicate::Where(std::string column, CompareOp op, Value value) {
+  conditions_.push_back(Condition{std::move(column), op, std::move(value)});
+  return *this;
+}
+
+Result<bool> Predicate::Matches(const Schema& schema,
+                                const std::vector<Value>& row) const {
+  for (const Condition& cond : conditions_) {
+    TC_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(cond.column));
+    const Value& cell = row[idx];
+    if (cell.is_null()) return false;  // SQL-style: null matches nothing.
+    TC_ASSIGN_OR_RETURN(int cmp, Value::Compare(cell, cond.value));
+    bool ok = false;
+    switch (cond.op) {
+      case CompareOp::kEq:
+        ok = cmp == 0;
+        break;
+      case CompareOp::kNe:
+        ok = cmp != 0;
+        break;
+      case CompareOp::kLt:
+        ok = cmp < 0;
+        break;
+      case CompareOp::kLe:
+        ok = cmp <= 0;
+        break;
+      case CompareOp::kGt:
+        ok = cmp > 0;
+        break;
+      case CompareOp::kGe:
+        ok = cmp >= 0;
+        break;
+    }
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Result<std::vector<Row>> QueryEngine::Select(Table& table,
+                                             const Predicate& pred,
+                                             size_t limit) {
+  // Validate referenced columns up front so that malformed queries fail
+  // even on empty tables.
+  for (const Condition& cond : pred.conditions()) {
+    TC_RETURN_IF_ERROR(table.schema().ColumnIndex(cond.column).status());
+  }
+  std::vector<Row> out;
+  Status match_status;
+  TC_RETURN_IF_ERROR(table.Scan([&](const Row& row) {
+    if (!match_status.ok()) return;
+    if (limit != 0 && out.size() >= limit) return;
+    auto matches = pred.Matches(table.schema(), row.values);
+    if (!matches.ok()) {
+      match_status = matches.status();
+      return;
+    }
+    if (*matches) out.push_back(row);
+  }));
+  TC_RETURN_IF_ERROR(match_status);
+  return out;
+}
+
+Result<std::vector<std::vector<Value>>> QueryEngine::SelectColumns(
+    Table& table, const Predicate& pred,
+    const std::vector<std::string>& columns, size_t limit) {
+  std::vector<size_t> indices;
+  for (const std::string& name : columns) {
+    TC_ASSIGN_OR_RETURN(size_t idx, table.schema().ColumnIndex(name));
+    indices.push_back(idx);
+  }
+  TC_ASSIGN_OR_RETURN(std::vector<Row> rows, Select(table, pred, limit));
+  std::vector<std::vector<Value>> out;
+  out.reserve(rows.size());
+  for (Row& row : rows) {
+    std::vector<Value> projected;
+    projected.reserve(indices.size());
+    for (size_t idx : indices) projected.push_back(row.values[idx]);
+    out.push_back(std::move(projected));
+  }
+  return out;
+}
+
+Result<double> QueryEngine::Aggregate(Table& table, const Predicate& pred,
+                                      AggFunc func, const std::string& column) {
+  size_t col_idx = 0;
+  if (func != AggFunc::kCount) {
+    TC_ASSIGN_OR_RETURN(col_idx, table.schema().ColumnIndex(column));
+  }
+  uint64_t count = 0;
+  double sum = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  Status inner;
+  TC_RETURN_IF_ERROR(table.Scan([&](const Row& row) {
+    if (!inner.ok()) return;
+    auto matches = pred.Matches(table.schema(), row.values);
+    if (!matches.ok()) {
+      inner = matches.status();
+      return;
+    }
+    if (!*matches) return;
+    if (func == AggFunc::kCount) {
+      ++count;
+      return;
+    }
+    const Value& cell = row.values[col_idx];
+    if (cell.is_null()) return;  // Nulls are skipped, SQL-style.
+    auto numeric = cell.AsNumeric();
+    if (!numeric.ok()) {
+      inner = numeric.status();
+      return;
+    }
+    ++count;
+    sum += *numeric;
+    min = std::min(min, *numeric);
+    max = std::max(max, *numeric);
+  }));
+  TC_RETURN_IF_ERROR(inner);
+  switch (func) {
+    case AggFunc::kCount:
+      return static_cast<double>(count);
+    case AggFunc::kSum:
+      return sum;
+    case AggFunc::kAvg:
+      if (count == 0) return Status::InvalidArgument("avg of empty set");
+      return sum / static_cast<double>(count);
+    case AggFunc::kMin:
+      if (count == 0) return Status::InvalidArgument("min of empty set");
+      return min;
+    case AggFunc::kMax:
+      if (count == 0) return Status::InvalidArgument("max of empty set");
+      return max;
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<std::map<std::string, double>> QueryEngine::GroupBy(
+    Table& table, const Predicate& pred, const std::string& group_column,
+    AggFunc func, const std::string& agg_column) {
+  TC_ASSIGN_OR_RETURN(size_t group_idx,
+                      table.schema().ColumnIndex(group_column));
+  if (table.schema().columns()[group_idx].type != ValueType::kString) {
+    return Status::InvalidArgument("group-by column must be a string");
+  }
+  size_t agg_idx = 0;
+  if (func != AggFunc::kCount) {
+    TC_ASSIGN_OR_RETURN(agg_idx, table.schema().ColumnIndex(agg_column));
+  }
+  struct Acc {
+    uint64_t count = 0;
+    double sum = 0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+  };
+  std::map<std::string, Acc> groups;
+  Status inner;
+  TC_RETURN_IF_ERROR(table.Scan([&](const Row& row) {
+    if (!inner.ok()) return;
+    auto matches = pred.Matches(table.schema(), row.values);
+    if (!matches.ok()) {
+      inner = matches.status();
+      return;
+    }
+    if (!*matches) return;
+    if (row.values[group_idx].is_null()) return;
+    Acc& acc = groups[row.values[group_idx].AsString()];
+    if (func == AggFunc::kCount) {
+      ++acc.count;
+      return;
+    }
+    const Value& cell = row.values[agg_idx];
+    if (cell.is_null()) return;
+    auto numeric = cell.AsNumeric();
+    if (!numeric.ok()) {
+      inner = numeric.status();
+      return;
+    }
+    ++acc.count;
+    acc.sum += *numeric;
+    acc.min = std::min(acc.min, *numeric);
+    acc.max = std::max(acc.max, *numeric);
+  }));
+  TC_RETURN_IF_ERROR(inner);
+  std::map<std::string, double> out;
+  for (const auto& [key, acc] : groups) {
+    switch (func) {
+      case AggFunc::kCount:
+        out[key] = static_cast<double>(acc.count);
+        break;
+      case AggFunc::kSum:
+        out[key] = acc.sum;
+        break;
+      case AggFunc::kAvg:
+        out[key] = acc.count == 0 ? 0 : acc.sum / acc.count;
+        break;
+      case AggFunc::kMin:
+        out[key] = acc.min;
+        break;
+      case AggFunc::kMax:
+        out[key] = acc.max;
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace tc::db

@@ -1,0 +1,68 @@
+#ifndef TC_DB_QUERY_H_
+#define TC_DB_QUERY_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tc/common/result.h"
+#include "tc/db/table.h"
+
+namespace tc::db {
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// One comparison against a named column.
+struct Condition {
+  std::string column;
+  CompareOp op;
+  Value value;
+};
+
+/// Conjunction of conditions (empty predicate matches everything).
+class Predicate {
+ public:
+  Predicate() = default;
+  Predicate& Where(std::string column, CompareOp op, Value value);
+  Result<bool> Matches(const Schema& schema,
+                       const std::vector<Value>& row) const;
+  const std::vector<Condition>& conditions() const { return conditions_; }
+
+ private:
+  std::vector<Condition> conditions_;
+};
+
+enum class AggFunc { kCount, kSum, kAvg, kMin, kMax };
+
+/// Minimal relational operators over a Table: filter, project, aggregate,
+/// group-by. This is the query surface the trusted cell exposes to local
+/// apps and — crucially — the *only* surface exposed to outsiders under
+/// policy ("none of this data leaves the trusted cell unless it is
+/// accessed via a predefined set of aggregate queries").
+class QueryEngine {
+ public:
+  /// Rows matching `pred` (up to `limit`, 0 = unlimited).
+  static Result<std::vector<Row>> Select(Table& table, const Predicate& pred,
+                                         size_t limit = 0);
+
+  /// Projects the named columns out of `Select` results.
+  static Result<std::vector<std::vector<Value>>> SelectColumns(
+      Table& table, const Predicate& pred,
+      const std::vector<std::string>& columns, size_t limit = 0);
+
+  /// Single aggregate over matching rows. For kCount, `column` is ignored.
+  /// kSum/kAvg/kMin/kMax require a numeric column; Min/Max of zero rows is
+  /// an error, Sum of zero rows is 0, Avg of zero rows is an error.
+  static Result<double> Aggregate(Table& table, const Predicate& pred,
+                                  AggFunc func, const std::string& column);
+
+  /// Group-by on a string column with one aggregate per group.
+  static Result<std::map<std::string, double>> GroupBy(
+      Table& table, const Predicate& pred, const std::string& group_column,
+      AggFunc func, const std::string& agg_column);
+};
+
+}  // namespace tc::db
+
+#endif  // TC_DB_QUERY_H_

@@ -1,0 +1,48 @@
+#ifndef TC_DB_SCHEMA_H_
+#define TC_DB_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "tc/common/result.h"
+#include "tc/db/value.h"
+
+namespace tc::db {
+
+struct Column {
+  std::string name;
+  ValueType type;
+  bool nullable = true;
+};
+
+/// Table schema: ordered columns, unique names.
+class Schema {
+ public:
+  Schema() = default;
+  static Result<Schema> Create(std::vector<Column> columns);
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t column_count() const { return columns_.size(); }
+
+  /// Index of `name`, or kNotFound.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Validates a row against the schema (arity, types, nullability).
+  Status ValidateRow(const std::vector<Value>& row) const;
+
+  void Encode(BinaryWriter& w) const;
+  static Result<Schema> Decode(BinaryReader& r);
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// A stored row: automatically-assigned id plus one Value per column.
+struct Row {
+  uint64_t id = 0;
+  std::vector<Value> values;
+};
+
+}  // namespace tc::db
+
+#endif  // TC_DB_SCHEMA_H_

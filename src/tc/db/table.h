@@ -1,0 +1,66 @@
+#ifndef TC_DB_TABLE_H_
+#define TC_DB_TABLE_H_
+
+#include <functional>
+#include <set>
+#include <string>
+
+#include "tc/common/result.h"
+#include "tc/db/schema.h"
+#include "tc/storage/log_store.h"
+
+namespace tc::db {
+
+/// A schema-checked table of rows stored in the cell's LogStore.
+///
+/// Rows live under keys "r/<table>/<16-hex row id>". The table keeps the
+/// set of live row ids in RAM (8 bytes/row) and picks the scan strategy by
+/// the state of the underlying store's index: point-gets per row while the
+/// store index is complete, one sequential log scan otherwise — mirroring
+/// how an embedded DB on a RAM-starved secure token degrades.
+class Table {
+ public:
+  /// Use Database::CreateTable / GetTable rather than constructing
+  /// directly; the constructor does not load existing rows.
+  Table(storage::LogStore* store, std::string name, Schema schema);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t row_count() const { return row_ids_.size(); }
+
+  /// Validates against the schema and appends; returns the new row id.
+  Result<uint64_t> Insert(const std::vector<Value>& values);
+
+  Result<Row> Get(uint64_t row_id);
+
+  /// Replaces the whole row (same id).
+  Status Update(uint64_t row_id, const std::vector<Value>& values);
+
+  Status Delete(uint64_t row_id);
+
+  /// Visits every live row. Strategy as described above.
+  Status Scan(const std::function<void(const Row&)>& fn);
+
+  /// Storage key for a row of this table.
+  static std::string RowKey(const std::string& table, uint64_t row_id);
+  /// Parses a RowKey; returns (table, id) or kInvalidArgument.
+  static Result<std::pair<std::string, uint64_t>> ParseRowKey(
+      const std::string& key);
+
+  /// Called by Database during recovery for each existing row key.
+  void RestoreRowId(uint64_t row_id);
+
+  static Bytes EncodeRowValues(const std::vector<Value>& values);
+  static Result<std::vector<Value>> DecodeRowValues(const Bytes& data);
+
+ private:
+  storage::LogStore* store_;
+  std::string name_;
+  Schema schema_;
+  std::set<uint64_t> row_ids_;
+  uint64_t next_row_id_ = 1;
+};
+
+}  // namespace tc::db
+
+#endif  // TC_DB_TABLE_H_

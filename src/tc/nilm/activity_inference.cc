@@ -1,0 +1,63 @@
+#include "tc/nilm/activity_inference.h"
+
+#include <algorithm>
+
+namespace tc::nilm {
+
+DailyRoutine ActivityInference::Infer(const std::vector<int>& window_means,
+                                      int window_seconds) {
+  DailyRoutine routine;
+  if (window_means.empty() || window_seconds <= 0) return routine;
+
+  // Overnight base: mean of 01:00-05:00.
+  int start = 3600 / window_seconds;          // 01:00.
+  int end = 5 * 3600 / window_seconds;        // 05:00.
+  start = std::min<int>(start, window_means.size() - 1);
+  end = std::min<int>(end, window_means.size());
+  double base = 0;
+  int n = 0;
+  for (int i = start; i < end; ++i) {
+    base += window_means[i];
+    ++n;
+  }
+  base = n > 0 ? base / n : 0;
+  routine.overnight_base_watts = base;
+
+  // Wake-up: first window after 04:30 sustaining > base * 1.6 + 80 W for
+  // two consecutive windows (kettles, lights, heating ramp).
+  double threshold = base * 1.6 + 80;
+  int from = (4 * 3600 + 1800) / window_seconds;
+  for (size_t i = from; i + 1 < window_means.size(); ++i) {
+    if (window_means[i] > threshold && window_means[i + 1] > threshold) {
+      routine.wake_second = static_cast<int>(i) * window_seconds;
+      break;
+    }
+  }
+
+  // Evening presence: mean of 19:00-22:00 well above base.
+  int ev_start = 19 * 3600 / window_seconds;
+  int ev_end = std::min<int>(22 * 3600 / window_seconds, window_means.size());
+  double evening = 0;
+  n = 0;
+  for (int i = ev_start; i < ev_end; ++i) {
+    evening += window_means[i];
+    ++n;
+  }
+  if (n > 0) {
+    evening /= n;
+    routine.evening_presence = evening > base * 1.5 + 60;
+  }
+
+  // Sleep: last window after 21:00 above threshold.
+  int night_from = 21 * 3600 / window_seconds;
+  for (int i = static_cast<int>(window_means.size()) - 1; i >= night_from;
+       --i) {
+    if (window_means[i] > threshold) {
+      routine.sleep_second = i * window_seconds;
+      break;
+    }
+  }
+  return routine;
+}
+
+}  // namespace tc::nilm

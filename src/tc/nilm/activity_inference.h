@@ -1,0 +1,32 @@
+#ifndef TC_NILM_ACTIVITY_INFERENCE_H_
+#define TC_NILM_ACTIVITY_INFERENCE_H_
+
+#include <vector>
+
+namespace tc::nilm {
+
+/// Coarse daily routine recoverable from aggregate consumption.
+struct DailyRoutine {
+  int wake_second = -1;    ///< First sustained morning rise (-1: unknown).
+  int sleep_second = -1;   ///< Evening activity fade-out (-1: unknown).
+  bool evening_presence = false;
+  double overnight_base_watts = 0;
+};
+
+/// Routine inference from windowed consumption means.
+///
+/// The complement to the Disaggregator for E2: the paper concedes that at
+/// 15-minute granularity "one cannot detect specific activities, but it is
+/// still possible to infer a daily routine" — this class is that residual
+/// inference, run on the aggregates household members are allowed to see.
+class ActivityInference {
+ public:
+  /// `window_means`: mean watts per window covering one day from midnight;
+  /// `window_seconds`: the window size.
+  static DailyRoutine Infer(const std::vector<int>& window_means,
+                            int window_seconds);
+};
+
+}  // namespace tc::nilm
+
+#endif  // TC_NILM_ACTIVITY_INFERENCE_H_

@@ -1,0 +1,163 @@
+#include "tc/nilm/disaggregator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace tc::nilm {
+
+using sensors::ApplianceType;
+
+std::vector<Disaggregator::Edge> Disaggregator::FindEdges(
+    const std::vector<int>& trace) const {
+  std::vector<Edge> edges;
+  size_t i = 1;
+  while (i < trace.size()) {
+    int delta = trace[i] - trace[i - 1];
+    if (std::abs(delta) >= options_.edge_threshold_watts) {
+      // Merge a monotone ramp (compressor soft start, CTR ramps) into one
+      // edge.
+      int total = delta;
+      size_t j = i + 1;
+      while (j < trace.size()) {
+        int step = trace[j] - trace[j - 1];
+        if ((step > 0) != (delta > 0) ||
+            std::abs(step) < options_.edge_threshold_watts / 3) {
+          break;
+        }
+        total += step;
+        ++j;
+      }
+      edges.push_back(Edge{static_cast<int>(i - 1), total});
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return edges;
+}
+
+bool Disaggregator::Classify(int rise_watts, int duration_seconds,
+                             ApplianceType* out) const {
+  static constexpr ApplianceType kCandidates[] = {
+      ApplianceType::kKettle,         ApplianceType::kOven,
+      ApplianceType::kWashingMachine, ApplianceType::kDishwasher,
+      ApplianceType::kEvCharger,      ApplianceType::kHeatPump,
+      ApplianceType::kFridge,         ApplianceType::kTelevision,
+      ApplianceType::kLighting,
+  };
+  double best_error = options_.power_tolerance;
+  bool found = false;
+  for (ApplianceType type : kCandidates) {
+    int nominal = sensors::NominalWatts(type);
+    double error =
+        std::fabs(rise_watts - nominal) / static_cast<double>(nominal);
+    if (error > options_.power_tolerance) continue;
+    int typical = sensors::SignatureDurationSeconds(type);
+    double ratio = static_cast<double>(duration_seconds) / typical;
+    if (ratio > options_.duration_slack ||
+        ratio < 1.0 / options_.duration_slack) {
+      continue;
+    }
+    if (error < best_error) {
+      best_error = error;
+      *out = type;
+      found = true;
+    }
+  }
+  return found;
+}
+
+std::vector<DetectedEvent> Disaggregator::Detect(const std::vector<int>& trace,
+                                                 int sample_period) const {
+  std::vector<DetectedEvent> out;
+  std::vector<Edge> edges = FindEdges(trace);
+  std::vector<bool> used(edges.size(), false);
+
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (used[i] || edges[i].delta_watts <= 0) continue;
+    int rise = edges[i].delta_watts;
+    // Find the matching fall: nearest subsequent unused fall whose
+    // magnitude is within tolerance of the rise.
+    for (size_t j = i + 1; j < edges.size(); ++j) {
+      if (used[j] || edges[j].delta_watts >= 0) continue;
+      int fall = -edges[j].delta_watts;
+      double mismatch =
+          std::fabs(fall - rise) / static_cast<double>(std::max(rise, 1));
+      if (mismatch > options_.power_tolerance) continue;
+      int duration =
+          (edges[j].sample_index - edges[i].sample_index) * sample_period;
+      ApplianceType type;
+      if (Classify(rise, duration, &type)) {
+        out.push_back(DetectedEvent{
+            type, edges[i].sample_index * sample_period,
+            edges[j].sample_index * sample_period, rise});
+        used[i] = used[j] = true;
+      }
+      break;  // Nearest candidate only (greedy pairing).
+    }
+  }
+  return out;
+}
+
+NilmScore Disaggregator::Score(
+    const std::vector<DetectedEvent>& detected,
+    const std::vector<sensors::ApplianceEvent>& truth,
+    const std::vector<sensors::ApplianceType>& types,
+    int match_tolerance_seconds) {
+  auto relevant = [&](ApplianceType t) {
+    return std::find(types.begin(), types.end(), t) != types.end();
+  };
+  std::vector<bool> truth_matched(truth.size(), false);
+  NilmScore score;
+  for (const DetectedEvent& det : detected) {
+    if (!relevant(det.type)) continue;
+    // A detection matches if it starts inside (a tolerance band around)
+    // a ground-truth activation of the same type. Multi-phase appliances
+    // (washing machine, dishwasher) produce several same-type detections
+    // within one activation; only the first counts as a true positive and
+    // the others are ignored (they are not *false* inferences).
+    bool matched = false;
+    bool overlaps_same_type = false;
+    for (size_t i = 0; i < truth.size(); ++i) {
+      if (truth[i].type != det.type) continue;
+      bool inside =
+          det.start_second >=
+              static_cast<int>(truth[i].start) - match_tolerance_seconds &&
+          det.start_second <=
+              static_cast<int>(truth[i].end) + match_tolerance_seconds;
+      if (!inside) continue;
+      overlaps_same_type = true;
+      if (!truth_matched[i]) {
+        truth_matched[i] = true;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) {
+      ++score.true_positives;
+    } else if (!overlaps_same_type) {
+      ++score.false_positives;
+    }
+  }
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (relevant(truth[i].type) && !truth_matched[i]) {
+      ++score.false_negatives;
+    }
+  }
+  int tp = score.true_positives;
+  score.precision =
+      tp + score.false_positives == 0
+          ? 0
+          : static_cast<double>(tp) / (tp + score.false_positives);
+  score.recall = tp + score.false_negatives == 0
+                     ? 0
+                     : static_cast<double>(tp) / (tp + score.false_negatives);
+  score.f1 = (score.precision + score.recall) == 0
+                 ? 0
+                 : 2 * score.precision * score.recall /
+                       (score.precision + score.recall);
+  return score;
+}
+
+}  // namespace tc::nilm

@@ -1,0 +1,97 @@
+#include "tc/policy/audit.h"
+
+#include "tc/common/codec.h"
+#include "tc/crypto/sha256.h"
+
+namespace tc::policy {
+
+Bytes AuditEntry::Serialize() const {
+  BinaryWriter w;
+  w.PutU64(index);
+  w.PutI64(time);
+  w.PutString(subject);
+  w.PutString(action);
+  w.PutString(object);
+  w.PutBool(allowed);
+  w.PutString(detail);
+  return w.Take();
+}
+
+Result<AuditEntry> AuditEntry::Deserialize(const Bytes& data) {
+  BinaryReader r(data);
+  AuditEntry e;
+  TC_ASSIGN_OR_RETURN(e.index, r.GetU64());
+  TC_ASSIGN_OR_RETURN(e.time, r.GetI64());
+  TC_ASSIGN_OR_RETURN(e.subject, r.GetString());
+  TC_ASSIGN_OR_RETURN(e.action, r.GetString());
+  TC_ASSIGN_OR_RETURN(e.object, r.GetString());
+  TC_ASSIGN_OR_RETURN(e.allowed, r.GetBool());
+  TC_ASSIGN_OR_RETURN(e.detail, r.GetString());
+  return e;
+}
+
+AuditLog::AuditLog(tee::TrustedExecutionEnvironment* tee, std::string key_name)
+    : tee_(tee),
+      key_name_(std::move(key_name)),
+      head_hash_(crypto::Sha256Hash(ToBytes("tc.audit.genesis"))) {}
+
+Bytes AuditLog::ChainAad(uint64_t index, const Bytes& prev_hash) {
+  BinaryWriter w;
+  w.PutString("tc.audit.v1");
+  w.PutU64(index);
+  w.PutBytes(prev_hash);
+  return w.Take();
+}
+
+Status AuditLog::Append(const AuditEntry& entry) {
+  AuditEntry stamped = entry;
+  stamped.index = next_index_;
+  TC_ASSIGN_OR_RETURN(
+      Bytes sealed,
+      tee_->Seal(key_name_, ChainAad(next_index_, head_hash_),
+                 stamped.Serialize()));
+  head_hash_ = crypto::Sha256Hash2(head_hash_, sealed);
+  sealed_entries_.push_back(std::move(sealed));
+  ++next_index_;
+  return Status::OK();
+}
+
+Bytes AuditLog::Export() const {
+  BinaryWriter w;
+  w.PutString("tc.audit.export.v1");
+  w.PutVarint(sealed_entries_.size());
+  for (const Bytes& sealed : sealed_entries_) w.PutBytes(sealed);
+  return w.Take();
+}
+
+Result<std::vector<AuditEntry>> AuditLog::VerifyAndDecrypt(
+    const Bytes& exported, tee::TrustedExecutionEnvironment* tee,
+    const std::string& key_name, int64_t expected_count) {
+  BinaryReader r(exported);
+  TC_ASSIGN_OR_RETURN(std::string magic, r.GetString());
+  if (magic != "tc.audit.export.v1") {
+    return Status::Corruption("bad audit export magic");
+  }
+  TC_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+  if (expected_count >= 0 && n != static_cast<uint64_t>(expected_count)) {
+    return Status::IntegrityViolation("audit log truncated or padded");
+  }
+  Bytes head = crypto::Sha256Hash(ToBytes("tc.audit.genesis"));
+  std::vector<AuditEntry> entries;
+  entries.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    TC_ASSIGN_OR_RETURN(Bytes sealed, r.GetBytes());
+    // AAD binds index + predecessor hash: any reorder/splice breaks here.
+    TC_ASSIGN_OR_RETURN(Bytes plain,
+                        tee->Open(key_name, ChainAad(i, head), sealed));
+    TC_ASSIGN_OR_RETURN(AuditEntry entry, AuditEntry::Deserialize(plain));
+    if (entry.index != i) {
+      return Status::IntegrityViolation("audit entry index mismatch");
+    }
+    head = crypto::Sha256Hash2(head, sealed);
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+}  // namespace tc::policy

@@ -1,0 +1,69 @@
+#ifndef TC_POLICY_AUDIT_H_
+#define TC_POLICY_AUDIT_H_
+
+#include <string>
+#include <vector>
+
+#include "tc/common/clock.h"
+#include "tc/common/result.h"
+#include "tc/tee/tee.h"
+
+namespace tc::policy {
+
+/// One accountability record.
+struct AuditEntry {
+  uint64_t index = 0;
+  Timestamp time = 0;
+  std::string subject;
+  std::string action;   ///< e.g. "read", "share", "aggregate".
+  std::string object;   ///< Document / series the action touched.
+  bool allowed = false;
+  std::string detail;   ///< Rule id or denial reason.
+
+  Bytes Serialize() const;
+  static Result<AuditEntry> Deserialize(const Bytes& data);
+};
+
+/// Hash-chained, TEE-sealed audit log.
+///
+/// Implements the paper's accountability requirement: "the recipient
+/// trusted cell can maintain an audit log, encrypt it and push it on the
+/// Cloud to the destination of the originator trusted cell". Entries are
+/// AEAD-sealed individually; each entry's associated data binds its index
+/// and the chain hash of its predecessor, so the (untrusted) transport can
+/// neither reorder, drop, nor splice entries without detection. The chain
+/// head lives in the TEE alongside a monotonic counter.
+class AuditLog {
+ public:
+  /// `key_name` must exist in the TEE keystore (e.g. a key shared with the
+  /// data originator so that *they* can read the log).
+  AuditLog(tee::TrustedExecutionEnvironment* tee, std::string key_name);
+
+  Status Append(const AuditEntry& entry);
+
+  size_t size() const { return sealed_entries_.size(); }
+  const Bytes& head_hash() const { return head_hash_; }
+
+  /// Serializes the sealed chain for pushing to the cloud.
+  Bytes Export() const;
+
+  /// Verifies and decrypts an exported chain using `tee`/`key_name`
+  /// (typically the originator's cell). Detects tampering, reordering,
+  /// truncation of the tail is detected when `expected_count` >= 0.
+  static Result<std::vector<AuditEntry>> VerifyAndDecrypt(
+      const Bytes& exported, tee::TrustedExecutionEnvironment* tee,
+      const std::string& key_name, int64_t expected_count = -1);
+
+ private:
+  static Bytes ChainAad(uint64_t index, const Bytes& prev_hash);
+
+  tee::TrustedExecutionEnvironment* tee_;
+  std::string key_name_;
+  std::vector<Bytes> sealed_entries_;
+  Bytes head_hash_;  ///< Hash chained over sealed entries.
+  uint64_t next_index_ = 0;
+};
+
+}  // namespace tc::policy
+
+#endif  // TC_POLICY_AUDIT_H_

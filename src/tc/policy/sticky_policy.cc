@@ -1,0 +1,86 @@
+#include "tc/policy/sticky_policy.h"
+
+#include "tc/crypto/hkdf.h"
+#include "tc/crypto/hmac.h"
+#include "tc/crypto/sha256.h"
+
+namespace tc::policy {
+namespace {
+
+Bytes MacKey(const Bytes& data_key) {
+  return crypto::DeriveKey(data_key, "tc.policy.sticky-mac");
+}
+
+Bytes MacInput(const Bytes& policy_bytes, const std::string& object_id) {
+  BinaryWriter w;
+  w.PutString("tc.sticky.v1");
+  w.PutString(object_id);
+  w.PutBytes(policy_bytes);
+  return w.Take();
+}
+
+}  // namespace
+
+Bytes StickyPolicy::BindWithMac(const Policy& policy,
+                                const std::string& object_id,
+                                const MacFn& mac) {
+  Bytes policy_bytes = policy.Serialize();
+  Bytes tag = mac(MacInput(policy_bytes, object_id));
+  BinaryWriter w;
+  w.PutString("tc.sticky.v1");
+  w.PutBytes(policy_bytes);
+  w.PutBytes(crypto::Sha256Hash(policy_bytes));
+  w.PutBytes(tag);
+  return w.Take();
+}
+
+Result<Policy> StickyPolicy::VerifyAndExtractWithMac(const Bytes& envelope,
+                                                     const std::string& object_id,
+                                                     const MacFn& mac) {
+  BinaryReader r(envelope);
+  TC_ASSIGN_OR_RETURN(std::string magic, r.GetString());
+  if (magic != "tc.sticky.v1") {
+    return Status::Corruption("bad sticky envelope magic");
+  }
+  TC_ASSIGN_OR_RETURN(Bytes policy_bytes, r.GetBytes());
+  TC_ASSIGN_OR_RETURN(Bytes hash, r.GetBytes());
+  TC_ASSIGN_OR_RETURN(Bytes tag, r.GetBytes());
+  if (!ConstantTimeEqual(mac(MacInput(policy_bytes, object_id)), tag)) {
+    return Status::IntegrityViolation("sticky policy binding MAC mismatch");
+  }
+  if (!ConstantTimeEqual(hash, crypto::Sha256Hash(policy_bytes))) {
+    return Status::IntegrityViolation("sticky policy hash mismatch");
+  }
+  return Policy::Deserialize(policy_bytes);
+}
+
+Bytes StickyPolicy::Bind(const Policy& policy, const std::string& object_id,
+                         const Bytes& data_key) {
+  Bytes mac_key = MacKey(data_key);
+  return BindWithMac(policy, object_id, [&](const Bytes& input) {
+    return crypto::HmacSha256(mac_key, input);
+  });
+}
+
+Result<Policy> StickyPolicy::VerifyAndExtract(const Bytes& envelope,
+                                              const std::string& object_id,
+                                              const Bytes& data_key) {
+  Bytes mac_key = MacKey(data_key);
+  return VerifyAndExtractWithMac(envelope, object_id,
+                                 [&](const Bytes& input) {
+                                   return crypto::HmacSha256(mac_key, input);
+                                 });
+}
+
+Result<Bytes> StickyPolicy::PeekPolicyHash(const Bytes& envelope) {
+  BinaryReader r(envelope);
+  TC_ASSIGN_OR_RETURN(std::string magic, r.GetString());
+  if (magic != "tc.sticky.v1") {
+    return Status::Corruption("bad sticky envelope magic");
+  }
+  TC_ASSIGN_OR_RETURN(Bytes policy_bytes, r.GetBytes());
+  TC_ASSIGN_OR_RETURN(Bytes hash, r.GetBytes());
+  return hash;
+}
+
+}  // namespace tc::policy

@@ -1,0 +1,61 @@
+#ifndef TC_POLICY_STICKY_POLICY_H_
+#define TC_POLICY_STICKY_POLICY_H_
+
+#include <functional>
+#include <string>
+
+#include "tc/common/bytes.h"
+#include "tc/common/result.h"
+#include "tc/policy/ucon.h"
+
+namespace tc::policy {
+
+/// Cryptographically sticky policies.
+///
+/// The paper: "usage control rules can be implemented as sticky policies so
+/// that they are made cryptographically inseparable from the data to be
+/// protected". The binding here is two-way:
+///
+///  1. The sticky envelope carries the policy plus an HMAC over
+///     (policy || object id) keyed by a MAC key *derived from the object's
+///     data key*. Whoever legitimately holds the data key can verify the
+///     policy is the one the owner attached; nobody without the key can
+///     swap in a laxer policy.
+///  2. The cell layer additionally puts Policy::Hash() into the AEAD
+///     associated data of the object ciphertext, so a mismatched policy
+///     makes the payload undecryptable in the first place.
+class StickyPolicy {
+ public:
+  /// MAC oracle: given the binding input, returns the 32-byte tag. Lets a
+  /// cell bind policies through its TEE without the data key ever leaving
+  /// the enclave.
+  using MacFn = std::function<Bytes(const Bytes& input)>;
+
+  /// Bind/verify through a MAC oracle (TEE-resident key path).
+  static Bytes BindWithMac(const Policy& policy, const std::string& object_id,
+                           const MacFn& mac);
+  static Result<Policy> VerifyAndExtractWithMac(const Bytes& envelope,
+                                                const std::string& object_id,
+                                                const MacFn& mac);
+
+  /// Builds the envelope for `policy` protecting object `object_id`, keyed
+  /// from 32-byte `data_key` material. (Inside a cell this is invoked via
+  /// the TEE so the key never leaves; the free function exists for the
+  /// protocol layer and tests.)
+  static Bytes Bind(const Policy& policy, const std::string& object_id,
+                    const Bytes& data_key);
+
+  /// Verifies the envelope and returns the embedded policy.
+  /// kIntegrityViolation if the policy or binding was tampered with.
+  static Result<Policy> VerifyAndExtract(const Bytes& envelope,
+                                         const std::string& object_id,
+                                         const Bytes& data_key);
+
+  /// The policy hash committed in an envelope (readable without the key —
+  /// integrity still requires VerifyAndExtract).
+  static Result<Bytes> PeekPolicyHash(const Bytes& envelope);
+};
+
+}  // namespace tc::policy
+
+#endif  // TC_POLICY_STICKY_POLICY_H_

@@ -1,0 +1,93 @@
+#ifndef TC_SENSORS_GPS_H_
+#define TC_SENSORS_GPS_H_
+
+#include <string>
+#include <vector>
+
+#include "tc/common/clock.h"
+#include "tc/common/rng.h"
+#include "tc/crypto/schnorr.h"
+
+namespace tc::sensors {
+
+/// One 1 Hz GPS fix (coordinates in micro-degrees).
+struct GpsPoint {
+  Timestamp time = 0;
+  int32_t lat_udeg = 0;
+  int32_t lon_udeg = 0;
+  int speed_kmh = 0;
+};
+
+/// A trip with its raw trace and road-pricing result.
+struct Trip {
+  Timestamp start = 0;
+  Timestamp end = 0;
+  std::vector<GpsPoint> points;
+  double km = 0;
+  int64_t cost_cents = 0;  ///< Zone-tariff road pricing.
+};
+
+/// Signed PAYD (pay-as-you-drive) daily summary for the insurer — the
+/// paper's example of a trusted source "delivering aggregated GPS data to
+/// her insurer and raw data to her trusted cell smartphone".
+struct PaydSummary {
+  std::string tracker_id;
+  int64_t day_index = 0;
+  double total_km = 0;
+  int64_t total_cost_cents = 0;
+  int trip_count = 0;
+  crypto::SchnorrSignature signature;
+
+  Bytes SignedPayload() const;
+};
+
+/// In-car GPS tracking box: simulates commute/errand trips on a synthetic
+/// city (zone tariffs by distance from the centre), streams raw fixes to
+/// the owner's cell, and certifies only the aggregate for the insurer.
+class GpsTracker {
+ public:
+  struct Config {
+    uint64_t seed = 7;
+    // Home in the suburbs, work near the centre (micro-degrees around a
+    // Paris-like origin).
+    int32_t home_lat = 48820000, home_lon = 2220000;
+    int32_t work_lat = 48865000, work_lon = 2330000;
+  };
+
+  GpsTracker(std::string tracker_id, const Config& config,
+             size_t group_bits = 512);
+
+  /// Trips of one simulated day (weekday commute pattern + errands).
+  std::vector<Trip> SimulateDay(int64_t day_index, Timestamp day_start) const;
+
+  /// Signs the PAYD aggregate over a day's trips.
+  PaydSummary Summarize(int64_t day_index, const std::vector<Trip>& trips);
+
+  static bool Verify(const PaydSummary& summary,
+                     const crypto::BigInt& tracker_public_key,
+                     size_t group_bits = 512);
+
+  /// Zone tariff (cents/km) at a position: 12 within ~3 km of the centre,
+  /// 6 within ~10 km, 2 beyond.
+  static int TariffCentsPerKm(int32_t lat_udeg, int32_t lon_udeg);
+
+  /// Approximate distance between fixes in km (equirectangular).
+  static double DistanceKm(const GpsPoint& a, const GpsPoint& b);
+
+  const crypto::BigInt& public_key() const { return keys_.public_key; }
+  const std::string& tracker_id() const { return id_; }
+
+ private:
+  Trip MakeTrip(Timestamp start, int32_t from_lat, int32_t from_lon,
+                int32_t to_lat, int32_t to_lon, Rng& rng) const;
+
+  std::string id_;
+  Config config_;
+  size_t group_bits_;
+  crypto::SecureRandom crypto_rng_;
+  crypto::SchnorrKeyPair keys_;
+};
+
+}  // namespace tc::sensors
+
+#endif  // TC_SENSORS_GPS_H_

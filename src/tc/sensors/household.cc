@@ -1,0 +1,198 @@
+#include "tc/sensors/household.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tc::sensors {
+
+std::vector<int> DayTrace::Downsample(int window_seconds) const {
+  std::vector<int> out;
+  if (window_seconds <= 0) return out;
+  out.reserve(watts.size() / window_seconds + 1);
+  for (size_t i = 0; i < watts.size(); i += window_seconds) {
+    int64_t sum = 0;
+    size_t end = std::min(watts.size(), i + window_seconds);
+    for (size_t j = i; j < end; ++j) sum += watts[j];
+    out.push_back(static_cast<int>(sum / static_cast<int64_t>(end - i)));
+  }
+  return out;
+}
+
+bool Tariff::IsOffPeak(int second_of_day) const {
+  int hour = second_of_day / 3600;
+  if (offpeak_start_hour > offpeak_end_hour) {
+    return hour >= offpeak_start_hour || hour < offpeak_end_hour;
+  }
+  return hour >= offpeak_start_hour && hour < offpeak_end_hour;
+}
+
+double HouseholdSimulator::OutsideTempC(int64_t day_index) const {
+  // Seasonal sinusoid: coldest ~ mid January (day-of-year 15), 3.5 C mean
+  // winter, 21.5 C mean summer, plus deterministic per-day weather noise.
+  Rng weather(config_.seed * 1000003 + static_cast<uint64_t>(day_index));
+  double day_of_year = static_cast<double>(day_index % 365);
+  double seasonal =
+      12.5 - 9.0 * std::cos(2.0 * M_PI * (day_of_year - 15.0) / 365.0);
+  return seasonal + weather.NextGaussian() * 2.5;
+}
+
+void HouseholdSimulator::AddActivation(DayTrace& trace, ApplianceType type,
+                                       int start_second, Rng& rng,
+                                       double modulation) const {
+  std::vector<int> activation = ActivationTrace(type, rng, modulation);
+  if (activation.empty() || start_second < 0) return;
+  // Activations crossing midnight wrap into the small hours of the same
+  // simulated day, so shifting a load to 23:05 does not make its energy
+  // vanish (the wrapped tail lands in the same tariff band).
+  for (size_t i = 0; i < activation.size() && i < trace.watts.size(); ++i) {
+    trace.watts[(start_second + i) % trace.watts.size()] += activation[i];
+  }
+  trace.events.push_back(ApplianceEvent{
+      type, start_second,
+      static_cast<Timestamp>(start_second + activation.size())});
+}
+
+DayTrace HouseholdSimulator::SimulateDay(int64_t day_index) const {
+  Rng rng(config_.seed * 2654435761ULL + static_cast<uint64_t>(day_index));
+  DayTrace trace;
+  trace.day_index = day_index;
+  trace.watts.assign(86400, 0);
+
+  const double conserve = std::clamp(config_.conservation_factor, 0.3, 1.0);
+  // Probability scaling for discretionary activations: the social game
+  // makes people skip some uses.
+  auto happens = [&](double base_prob) {
+    return rng.NextBernoulli(std::min(1.0, base_prob * conserve));
+  };
+
+  // Base load: always.
+  AddActivation(trace, ApplianceType::kBaseLoad, 0, rng);
+
+  // Fridge: compressor cycles all day (cycle + idle gap).
+  int t = static_cast<int>(rng.NextInt(0, 300));
+  while (t < 86400) {
+    AddActivation(trace, ApplianceType::kFridge, t, rng);
+    t += TypicalDurationSeconds(ApplianceType::kFridge) +
+         static_cast<int>(rng.NextInt(900, 1500));  // Idle between cycles.
+  }
+
+  // Morning: kettle around 07:00, one per 2 occupants.
+  for (int p = 0; p < (config_.occupants + 1) / 2; ++p) {
+    if (happens(0.9)) {
+      AddActivation(trace, ApplianceType::kKettle,
+                    static_cast<int>(rng.NextInt(6 * 3600 + 1800,
+                                                 8 * 3600)),
+                    rng);
+    }
+  }
+  // Evening kettle/tea.
+  if (happens(0.6)) {
+    AddActivation(trace, ApplianceType::kKettle,
+                  static_cast<int>(rng.NextInt(20 * 3600, 22 * 3600)), rng);
+  }
+
+  // Dinner: oven most days around 19:00.
+  if (happens(0.75)) {
+    AddActivation(trace, ApplianceType::kOven,
+                  static_cast<int>(rng.NextInt(18 * 3600, 19 * 3600 + 1800)),
+                  rng);
+  }
+
+  // Washing machine ~ every other day; butler shifts it off-peak (23:30).
+  if (happens(0.5)) {
+    int start = config_.smart_butler
+                    ? static_cast<int>(rng.NextInt(23 * 3600 + 600,
+                                                   23 * 3600 + 3000))
+                    : static_cast<int>(rng.NextInt(10 * 3600, 17 * 3600));
+    AddActivation(trace, ApplianceType::kWashingMachine, start, rng);
+  }
+  // Dishwasher most evenings; butler delays past 23:00.
+  if (happens(0.7)) {
+    int start = config_.smart_butler
+                    ? static_cast<int>(rng.NextInt(23 * 3600 + 300,
+                                                   23 * 3600 + 2400))
+                    : static_cast<int>(rng.NextInt(20 * 3600, 21 * 3600));
+    AddActivation(trace, ApplianceType::kDishwasher, start, rng);
+  }
+
+  // Television + lighting in the evening.
+  if (happens(0.9)) {
+    AddActivation(trace, ApplianceType::kTelevision,
+                  static_cast<int>(rng.NextInt(19 * 3600, 20 * 3600)), rng);
+  }
+  AddActivation(trace, ApplianceType::kLighting,
+                static_cast<int>(rng.NextInt(17 * 3600 + 1800, 18 * 3600)),
+                rng);
+  // The social game also trims standby and idle lighting: model as a
+  // whole-trace scale on the always-on fraction when engaged.
+  if (conserve < 1.0) {
+    for (auto& w : trace.watts) {
+      w = static_cast<int>(w * (0.92 + 0.08 * conserve));
+    }
+  }
+
+  // Heat pump: demand from outside temperature (heating below ~16 C).
+  if (config_.has_heat_pump) {
+    double temp = OutsideTempC(day_index);
+    double demand = std::clamp((16.0 - temp) / 16.0, 0.0, 1.0);
+    if (demand > 0.02) {
+      // Cycles across the day; the butler pre-heats off-peak (05:00-07:00)
+      // and throttles during the morning tariff peak.
+      // The social game's biggest lever is the thermostat: conservation
+      // trims the number of heating cycles quadratically (setpoint down a
+      // degree cuts demand disproportionately).
+      // The butler's model-predictive schedule avoids thermostat overshoot
+      // and reheat losses (~15% of heating energy) on top of shifting
+      // cycles off-peak.
+      double butler_efficiency = config_.smart_butler ? 0.85 : 1.0;
+      int cycles = static_cast<int>((4 + demand * 8) * conserve * conserve *
+                                    butler_efficiency);
+      for (int c = 0; c < cycles; ++c) {
+        int start = static_cast<int>(rng.NextInt(0, 86400 - 2400));
+        double mod = demand;
+        if (config_.smart_butler) {
+          int hour = start / 3600;
+          if (hour >= 7 && hour < 10) {
+            // Shift the cycle into the pre-heat window.
+            start = static_cast<int>(rng.NextInt(5 * 3600, 7 * 3600 - 2400));
+          }
+        }
+        AddActivation(trace, ApplianceType::kHeatPump, start, rng, mod);
+      }
+    }
+  }
+
+  // EV: charge after arriving home (~18:30); the butler delays to 23:05+.
+  if (config_.has_ev && rng.NextBernoulli(0.8)) {
+    int start = config_.smart_butler
+                    ? 23 * 3600 + static_cast<int>(rng.NextInt(300, 1200))
+                    : static_cast<int>(rng.NextInt(18 * 3600 + 1800,
+                                                   19 * 3600 + 1800));
+    // The social game nudges eco-driving: conservation shortens the
+    // nightly recharge.
+    AddActivation(trace, ApplianceType::kEvCharger, start, rng, conserve);
+  }
+
+  double joules = 0;
+  for (int w : trace.watts) joules += w;
+  trace.kwh = joules / 3.6e6;
+  std::sort(trace.events.begin(), trace.events.end(),
+            [](const ApplianceEvent& a, const ApplianceEvent& b) {
+              return a.start < b.start;
+            });
+  return trace;
+}
+
+double HouseholdSimulator::DailyBillEur(const DayTrace& trace,
+                                        const Tariff& tariff) {
+  double eur = 0;
+  for (size_t i = 0; i < trace.watts.size(); ++i) {
+    double kwh = trace.watts[i] / 3.6e6;  // One watt-second.
+    eur += kwh * (tariff.IsOffPeak(static_cast<int>(i))
+                      ? tariff.offpeak_eur_per_kwh
+                      : tariff.peak_eur_per_kwh);
+  }
+  return eur;
+}
+
+}  // namespace tc::sensors

@@ -1,0 +1,66 @@
+#ifndef TC_SENSORS_POWER_METER_H_
+#define TC_SENSORS_POWER_METER_H_
+
+#include <functional>
+#include <string>
+
+#include "tc/common/clock.h"
+#include "tc/crypto/schnorr.h"
+#include "tc/sensors/household.h"
+
+namespace tc::sensors {
+
+/// A daily meter reading certified by the meter's embedded secure element
+/// — "a certified time series of readings for verification, billing and
+/// network operation" sent to the distribution company.
+struct CertifiedAggregate {
+  std::string meter_id;
+  int64_t day_index = 0;
+  double kwh = 0;
+  crypto::SchnorrSignature signature;
+
+  /// Byte string covered by the signature.
+  Bytes SignedPayload() const;
+};
+
+/// Simulated Linky meter: a *trusted source* in the paper's terminology.
+/// It pushes the raw 1 Hz feed over the local link to the home gateway
+/// cell (regulation requires the short-range raw feed in France) while
+/// externalizing only a signed daily aggregate to the utility.
+///
+/// The meter is a minimal trusted cell: it holds a signing key in its
+/// secure element and implements "the frequency and/or precision of the
+/// data that should be externalized".
+class PowerMeter {
+ public:
+  PowerMeter(std::string meter_id, size_t group_bits = 512);
+
+  /// Streams one day: invokes `sink(timestamp, watts)` for each second of
+  /// the trace (the gateway's ingest path) and returns the signed daily
+  /// aggregate for the utility.
+  CertifiedAggregate EmitDay(
+      const DayTrace& trace, Timestamp day_start,
+      const std::function<void(Timestamp, int)>& sink);
+
+  /// Signs an aggregate without streaming (e.g. re-certification).
+  CertifiedAggregate Certify(int64_t day_index, double kwh);
+
+  const crypto::BigInt& public_key() const { return keys_.public_key; }
+  const std::string& meter_id() const { return id_; }
+  size_t group_bits() const { return group_bits_; }
+
+  /// Utility-side verification.
+  static bool Verify(const CertifiedAggregate& aggregate,
+                     const crypto::BigInt& meter_public_key,
+                     size_t group_bits = 512);
+
+ private:
+  std::string id_;
+  size_t group_bits_;
+  crypto::SecureRandom rng_;
+  crypto::SchnorrKeyPair keys_;
+};
+
+}  // namespace tc::sensors
+
+#endif  // TC_SENSORS_POWER_METER_H_

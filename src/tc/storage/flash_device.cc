@@ -1,0 +1,61 @@
+#include "tc/storage/flash_device.h"
+
+namespace tc::storage {
+
+FlashDevice::FlashDevice(const FlashGeometry& geometry)
+    : geometry_(geometry),
+      pages_(geometry.total_pages()),
+      block_wear_(geometry.block_count, 0) {}
+
+Result<Bytes> FlashDevice::ReadPage(size_t page_no) {
+  if (page_no >= pages_.size()) {
+    return Status::OutOfRange("page number out of range");
+  }
+  ++stats_.page_reads;
+  stats_.simulated_time_us += geometry_.read_page_us;
+  if (pages_[page_no].empty()) {
+    return Bytes(geometry_.page_size, 0xff);  // Erased NAND reads as 1s.
+  }
+  return pages_[page_no];
+}
+
+Status FlashDevice::ProgramPage(size_t page_no, const Bytes& data) {
+  if (page_no >= pages_.size()) {
+    return Status::OutOfRange("page number out of range");
+  }
+  if (data.size() != geometry_.page_size) {
+    return Status::InvalidArgument("program data must be exactly one page");
+  }
+  if (!pages_[page_no].empty()) {
+    return Status::FailedPrecondition(
+        "NAND page already programmed; erase the block first");
+  }
+  ++stats_.page_programs;
+  stats_.simulated_time_us += geometry_.program_page_us;
+  pages_[page_no] = data;
+  return Status::OK();
+}
+
+Status FlashDevice::EraseBlock(size_t block_no) {
+  if (block_no >= geometry_.block_count) {
+    return Status::OutOfRange("block number out of range");
+  }
+  ++stats_.block_erases;
+  stats_.simulated_time_us += geometry_.erase_block_us;
+  ++block_wear_[block_no];
+  size_t first = block_no * geometry_.pages_per_block;
+  for (size_t i = 0; i < geometry_.pages_per_block; ++i) {
+    pages_[first + i].clear();
+  }
+  return Status::OK();
+}
+
+bool FlashDevice::IsPageProgrammed(size_t page_no) const {
+  return page_no < pages_.size() && !pages_[page_no].empty();
+}
+
+uint64_t FlashDevice::BlockWear(size_t block_no) const {
+  return block_no < block_wear_.size() ? block_wear_[block_no] : 0;
+}
+
+}  // namespace tc::storage

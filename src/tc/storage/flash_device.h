@@ -1,0 +1,75 @@
+#ifndef TC_STORAGE_FLASH_DEVICE_H_
+#define TC_STORAGE_FLASH_DEVICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tc/common/bytes.h"
+#include "tc/common/result.h"
+
+namespace tc::storage {
+
+/// Geometry and timing of a simulated raw NAND flash chip.
+struct FlashGeometry {
+  size_t page_size = 2048;      ///< Bytes per page.
+  size_t pages_per_block = 64;  ///< Erase-unit granularity.
+  size_t block_count = 256;     ///< Total blocks (default: 32 MiB chip).
+
+  uint64_t read_page_us = 100;
+  uint64_t program_page_us = 300;
+  uint64_t erase_block_us = 2000;
+
+  size_t total_pages() const { return pages_per_block * block_count; }
+  size_t capacity_bytes() const { return total_pages() * page_size; }
+};
+
+/// Cumulative operation counters (the basis of the E10 write-amplification
+/// and wear measurements).
+struct FlashStats {
+  uint64_t page_reads = 0;
+  uint64_t page_programs = 0;
+  uint64_t block_erases = 0;
+  uint64_t simulated_time_us = 0;
+};
+
+/// In-memory simulation of raw NAND flash with real NAND semantics:
+/// program only after erase (no overwrite in place), erase only at block
+/// granularity, per-block wear counting. The log-structured store above it
+/// must therefore write out of place and garbage collect — exactly the
+/// constraint the paper's low-end trusted cells face.
+class FlashDevice {
+ public:
+  explicit FlashDevice(const FlashGeometry& geometry);
+
+  const FlashGeometry& geometry() const { return geometry_; }
+
+  /// Reads one full page. Fails on out-of-range page numbers. Reading an
+  /// erased page returns all-0xFF bytes, as real NAND does.
+  Result<Bytes> ReadPage(size_t page_no);
+
+  /// Programs an erased page with exactly page_size bytes.
+  /// Fails with kFailedPrecondition if the page was already programmed
+  /// (NAND forbids overwrite) and kInvalidArgument on size mismatch.
+  Status ProgramPage(size_t page_no, const Bytes& data);
+
+  /// Erases a whole block, returning its pages to the erased state.
+  Status EraseBlock(size_t block_no);
+
+  bool IsPageProgrammed(size_t page_no) const;
+
+  const FlashStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = FlashStats{}; }
+
+  /// Erase cycles a block has endured (wear levelling metric).
+  uint64_t BlockWear(size_t block_no) const;
+
+ private:
+  FlashGeometry geometry_;
+  std::vector<Bytes> pages_;          // Empty vector == erased.
+  std::vector<uint64_t> block_wear_;
+  FlashStats stats_;
+};
+
+}  // namespace tc::storage
+
+#endif  // TC_STORAGE_FLASH_DEVICE_H_

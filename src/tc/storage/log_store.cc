@@ -1,0 +1,489 @@
+#include "tc/storage/log_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "tc/common/codec.h"
+
+namespace tc::storage {
+namespace {
+
+constexpr uint32_t kPageMagic = 0x54434c47;  // "TCLG".
+constexpr size_t kPageHeaderReserve = 9;     // magic(4) + count varint(<=5).
+constexpr uint8_t kRecordPut = 1;
+constexpr uint8_t kRecordTombstone = 2;
+
+}  // namespace
+
+LogStore::LogStore(FlashDevice* device, PageTransform* transform,
+                   const LogStoreOptions& options)
+    : device_(device),
+      transform_(transform),
+      options_(options),
+      payload_size_(transform->UsablePayload(device->geometry().page_size)),
+      block_used_(device->geometry().block_count, false),
+      block_records_(device->geometry().block_count, 0),
+      block_dead_(device->geometry().block_count, 0) {}
+
+Result<std::unique_ptr<LogStore>> LogStore::Open(
+    FlashDevice* device, PageTransform* transform,
+    const LogStoreOptions& options) {
+  if (transform->UsablePayload(device->geometry().page_size) < 64) {
+    return Status::InvalidArgument("flash pages too small for the store");
+  }
+  std::unique_ptr<LogStore> store(new LogStore(device, transform, options));
+  TC_RETURN_IF_ERROR(store->Recover());
+  return store;
+}
+
+uint64_t LogStore::PageBlock(uint64_t page_no) const {
+  return page_no / device_->geometry().pages_per_block;
+}
+
+size_t LogStore::EntryRamCost(const std::string& key) const {
+  // Key bytes + hash-table node + IndexEntry, approximated.
+  return key.size() + 64;
+}
+
+Bytes LogStore::SerializeRecord(const Record& record) {
+  BinaryWriter w;
+  w.PutU8(record.tombstone ? kRecordTombstone : kRecordPut);
+  w.PutU64(record.seq);
+  w.PutString(record.key);
+  if (!record.tombstone) w.PutBytes(record.value);
+  return w.Take();
+}
+
+size_t LogStore::RecordWireSize(const Record& record) const {
+  return SerializeRecord(record).size();
+}
+
+size_t LogStore::MaxValueSize() const {
+  // Leave room for the page header, record header and a generous key.
+  return payload_size_ - kPageHeaderReserve - 128;
+}
+
+double LogStore::WriteAmplification() const {
+  if (stats_.user_bytes_appended == 0) return 0.0;
+  return static_cast<double>(device_->stats().page_programs *
+                             device_->geometry().page_size) /
+         static_cast<double>(stats_.user_bytes_appended);
+}
+
+void LogStore::IndexInsertOrUpdate(const Record& record, uint64_t page_no) {
+  auto it = index_.find(record.key);
+  if (it != index_.end()) {
+    if (record.seq >= it->second.seq) {
+      it->second = IndexEntry{page_no, record.seq, record.tombstone};
+    }
+    return;
+  }
+  size_t cost = EntryRamCost(record.key);
+  if (index_ram_bytes_ + cost > options_.ram_budget_bytes) {
+    index_complete_ = false;
+    ++stats_.index_insertions_dropped;
+    return;
+  }
+  index_ram_bytes_ += cost;
+  index_.emplace(record.key,
+                 IndexEntry{page_no, record.seq, record.tombstone});
+}
+
+Result<std::vector<LogStore::Record>> LogStore::ReadPageRecords(
+    uint64_t page_no) {
+  TC_ASSIGN_OR_RETURN(Bytes raw, device_->ReadPage(page_no));
+  uint64_t incarnation = device_->BlockWear(PageBlock(page_no));
+  TC_ASSIGN_OR_RETURN(Bytes payload,
+                      transform_->Decode(page_no, incarnation, raw));
+  BinaryReader r(payload);
+  TC_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kPageMagic) {
+    return Status::Corruption("bad page magic");
+  }
+  TC_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
+  std::vector<Record> records;
+  records.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Record rec;
+    TC_ASSIGN_OR_RETURN(uint8_t type, r.GetU8());
+    if (type != kRecordPut && type != kRecordTombstone) {
+      return Status::Corruption("bad record type");
+    }
+    rec.tombstone = type == kRecordTombstone;
+    TC_ASSIGN_OR_RETURN(rec.seq, r.GetU64());
+    TC_ASSIGN_OR_RETURN(rec.key, r.GetString());
+    if (!rec.tombstone) {
+      TC_ASSIGN_OR_RETURN(rec.value, r.GetBytes());
+    }
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+Status LogStore::Recover() {
+  const FlashGeometry& geo = device_->geometry();
+  uint64_t max_seq = 0;
+  // Per-block record (key, seq) pairs for dead counting after the index is
+  // rebuilt.
+  std::vector<std::vector<std::pair<std::string, uint64_t>>> block_entries(
+      geo.block_count);
+
+  for (size_t block = 0; block < geo.block_count; ++block) {
+    for (size_t i = 0; i < geo.pages_per_block; ++i) {
+      uint64_t page_no = block * geo.pages_per_block + i;
+      if (!device_->IsPageProgrammed(page_no)) continue;
+      block_used_[block] = true;
+      TC_ASSIGN_OR_RETURN(std::vector<Record> records,
+                          ReadPageRecords(page_no));
+      block_records_[block] += records.size();
+      for (Record& rec : records) {
+        max_seq = std::max(max_seq, rec.seq);
+        block_entries[block].emplace_back(rec.key, rec.seq);
+        IndexInsertOrUpdate(rec, page_no);
+      }
+    }
+  }
+  next_seq_ = max_seq + 1;
+
+  if (index_complete_) {
+    for (size_t block = 0; block < geo.block_count; ++block) {
+      for (const auto& [key, seq] : block_entries[block]) {
+        auto it = index_.find(key);
+        if (it != index_.end() && it->second.seq != seq) {
+          ++block_dead_[block];
+        }
+      }
+    }
+  }
+
+  for (size_t block = 0; block < geo.block_count; ++block) {
+    if (!block_used_[block]) free_blocks_.push_back(block);
+  }
+  has_active_block_ = false;
+  return Status::OK();
+}
+
+Result<size_t> LogStore::AllocateBlock(bool allow_gc) {
+  if (allow_gc && free_blocks_.size() <= options_.gc_free_block_threshold) {
+    TC_RETURN_IF_ERROR(RunGc());
+    // GC may have flushed the buffer itself and left a usable active
+    // block; consuming another one here would waste a block per GC cycle.
+    if (has_active_block_ &&
+        next_page_in_block_ < device_->geometry().pages_per_block) {
+      return active_block_;
+    }
+  }
+  if (free_blocks_.empty()) {
+    return Status::ResourceExhausted("flash device out of free blocks");
+  }
+  size_t block = free_blocks_.back();
+  free_blocks_.pop_back();
+  block_used_[block] = true;
+  block_records_[block] = 0;
+  block_dead_[block] = 0;
+  active_block_ = block;
+  next_page_in_block_ = 0;
+  has_active_block_ = true;
+  return block;
+}
+
+Status LogStore::FlushBufferedPage() {
+  while (!buffer_records_.empty()) {
+    if (!has_active_block_ ||
+        next_page_in_block_ >= device_->geometry().pages_per_block) {
+      TC_RETURN_IF_ERROR(AllocateBlock(!in_gc_).status());
+      // GC inside AllocateBlock may have flushed the buffer already.
+      if (buffer_records_.empty()) break;
+    }
+    uint64_t page_no =
+        active_block_ * device_->geometry().pages_per_block +
+        next_page_in_block_;
+
+    BinaryWriter w;
+    w.PutU32(kPageMagic);
+    w.PutVarint(buffer_records_.size());
+    for (const Record& rec : buffer_records_) {
+      w.PutRaw(SerializeRecord(rec));
+    }
+    Bytes payload = w.Take();
+    TC_CHECK(payload.size() <= payload_size_);
+    payload.resize(payload_size_, 0);
+
+    uint64_t incarnation = device_->BlockWear(active_block_);
+    TC_ASSIGN_OR_RETURN(Bytes encoded,
+                        transform_->Encode(page_no, incarnation, payload));
+    TC_RETURN_IF_ERROR(device_->ProgramPage(page_no, encoded));
+    ++next_page_in_block_;
+    block_records_[active_block_] += buffer_records_.size();
+
+    for (const Record& rec : buffer_records_) {
+      auto it = index_.find(rec.key);
+      if (it != index_.end()) {
+        if (it->second.seq == rec.seq) {
+          it->second.page_no = page_no;  // Now durable at this page.
+        } else if (it->second.seq > rec.seq) {
+          ++block_dead_[active_block_];  // Superseded within the buffer.
+        }
+      }
+    }
+    buffer_records_.clear();
+    buffer_bytes_ = 0;
+  }
+  return Status::OK();
+}
+
+Status LogStore::Append(Record record, bool count_as_user_write) {
+  Bytes wire = SerializeRecord(record);
+  if (wire.size() > payload_size_ - kPageHeaderReserve) {
+    return Status::InvalidArgument("record larger than one flash page");
+  }
+  if (buffer_bytes_ + wire.size() > payload_size_ - kPageHeaderReserve) {
+    TC_RETURN_IF_ERROR(FlushBufferedPage());
+  }
+  if (count_as_user_write) {
+    stats_.user_bytes_appended += wire.size();
+    ++stats_.records_appended;
+  }
+
+  // Dead-count the durable version this record supersedes.
+  auto it = index_.find(record.key);
+  if (it != index_.end() && it->second.page_no != kBufferedPage &&
+      it->second.seq < record.seq) {
+    ++block_dead_[PageBlock(it->second.page_no)];
+  }
+
+  buffer_bytes_ += wire.size();
+  IndexInsertOrUpdate(record, kBufferedPage);
+  buffer_records_.push_back(std::move(record));
+  return Status::OK();
+}
+
+Status LogStore::Put(const std::string& key, const Bytes& value) {
+  if (key.empty()) return Status::InvalidArgument("empty key");
+  return Append(Record{key, value, next_seq_++, false},
+                /*count_as_user_write=*/true);
+}
+
+Status LogStore::Delete(const std::string& key) {
+  if (key.empty()) return Status::InvalidArgument("empty key");
+  return Append(Record{key, {}, next_seq_++, true},
+                /*count_as_user_write=*/true);
+}
+
+Status LogStore::Flush() { return FlushBufferedPage(); }
+
+Result<Bytes> LogStore::Get(const std::string& key) {
+  // Freshest first: the RAM write buffer.
+  for (auto it = buffer_records_.rbegin(); it != buffer_records_.rend();
+       ++it) {
+    if (it->key == key) {
+      if (it->tombstone) return Status::NotFound("deleted: " + key);
+      return it->value;
+    }
+  }
+  auto idx = index_.find(key);
+  if (idx != index_.end()) {
+    ++stats_.index_hits;
+    if (idx->second.tombstone) return Status::NotFound("deleted: " + key);
+    TC_CHECK(idx->second.page_no != kBufferedPage);
+    TC_ASSIGN_OR_RETURN(std::vector<Record> records,
+                        ReadPageRecords(idx->second.page_no));
+    for (const Record& rec : records) {
+      if (rec.key == key && rec.seq == idx->second.seq) return rec.value;
+    }
+    return Status::Corruption("index points at a page without the record");
+  }
+  if (!index_complete_) return ScanForKey(key);
+  return Status::NotFound("no such key: " + key);
+}
+
+Result<Bytes> LogStore::ScanForKey(const std::string& key) {
+  ++stats_.full_scans;
+  const FlashGeometry& geo = device_->geometry();
+  uint64_t best_seq = 0;
+  bool found = false, tombstone = false;
+  Bytes value;
+  for (size_t page = 0; page < geo.total_pages(); ++page) {
+    if (!device_->IsPageProgrammed(page)) continue;
+    TC_ASSIGN_OR_RETURN(std::vector<Record> records, ReadPageRecords(page));
+    for (Record& rec : records) {
+      if (rec.key == key && rec.seq >= best_seq) {
+        best_seq = rec.seq;
+        found = true;
+        tombstone = rec.tombstone;
+        value = std::move(rec.value);
+      }
+    }
+  }
+  // Buffer is newer than anything durable (checked by Get already, but
+  // ScanForKey must stand alone for ScanAll's use).
+  for (const Record& rec : buffer_records_) {
+    if (rec.key == key && rec.seq >= best_seq) {
+      best_seq = rec.seq;
+      found = true;
+      tombstone = rec.tombstone;
+      value = rec.value;
+    }
+  }
+  if (!found || tombstone) return Status::NotFound("no such key: " + key);
+  return value;
+}
+
+Status LogStore::ScanAll(
+    const std::function<void(const std::string&, const Bytes&)>& fn) {
+  const FlashGeometry& geo = device_->geometry();
+  std::map<std::string, Record> latest;
+  for (size_t page = 0; page < geo.total_pages(); ++page) {
+    if (!device_->IsPageProgrammed(page)) continue;
+    TC_ASSIGN_OR_RETURN(std::vector<Record> records, ReadPageRecords(page));
+    for (Record& rec : records) {
+      auto it = latest.find(rec.key);
+      if (it == latest.end() || it->second.seq < rec.seq) {
+        latest[rec.key] = std::move(rec);
+      }
+    }
+  }
+  for (const Record& rec : buffer_records_) {
+    auto it = latest.find(rec.key);
+    if (it == latest.end() || it->second.seq <= rec.seq) {
+      latest[rec.key] = rec;
+    }
+  }
+  for (const auto& [key, rec] : latest) {
+    if (!rec.tombstone) fn(key, rec.value);
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> LogStore::CountLive() {
+  if (index_complete_) {
+    uint64_t live = 0;
+    for (const auto& [key, entry] : index_) {
+      if (!entry.tombstone) ++live;
+    }
+    return live;
+  }
+  uint64_t live = 0;
+  TC_RETURN_IF_ERROR(
+      ScanAll([&](const std::string&, const Bytes&) { ++live; }));
+  return live;
+}
+
+Status LogStore::RunGc() {
+  if (in_gc_) return Status::OK();
+  in_gc_ = true;
+  Status status = RunGcLocked();
+  in_gc_ = false;
+  return status;
+}
+
+Status LogStore::RunGcLocked() {
+  const FlashGeometry& geo = device_->geometry();
+  // Keep reclaiming until the free pool is comfortably above the trigger
+  // threshold or no block offers provably dead records. The iteration cap
+  // bounds pathological ping-pong when every victim is nearly all-live.
+  for (size_t iter = 0; iter < geo.block_count; ++iter) {
+    if (free_blocks_.size() > options_.gc_free_block_threshold) break;
+
+    // Victim: used, non-active block with the most provably dead records.
+    size_t victim = 0;
+    uint32_t best_dead = 0;
+    bool have_victim = false;
+    for (size_t block = 0; block < block_used_.size(); ++block) {
+      if (!block_used_[block]) continue;
+      if (has_active_block_ && block == active_block_) continue;
+      if (block_dead_[block] > best_dead) {
+        best_dead = block_dead_[block];
+        victim = block;
+        have_victim = true;
+      }
+    }
+    if (!have_victim) break;  // Nothing reclaimable; caller may still fail.
+
+    std::vector<Record> survivors;
+    for (size_t i = 0; i < geo.pages_per_block; ++i) {
+      uint64_t page_no = victim * geo.pages_per_block + i;
+      if (!device_->IsPageProgrammed(page_no)) continue;
+      TC_ASSIGN_OR_RETURN(std::vector<Record> records,
+                          ReadPageRecords(page_no));
+      for (Record& rec : records) {
+        auto it = index_.find(rec.key);
+        if (it != index_.end() && it->second.seq > rec.seq) {
+          continue;  // Provably superseded: drop.
+        }
+        // Latest version (or unknown because the index is partial): keep.
+        // Tombstones are kept too — recovery needs them to shadow older
+        // versions that may live in other blocks.
+        survivors.push_back(std::move(rec));
+      }
+    }
+    if (!survivors.empty()) {
+      for (Record& rec : survivors) {
+        ++stats_.gc_records_moved;
+        TC_RETURN_IF_ERROR(
+            Append(std::move(rec), /*count_as_user_write=*/false));
+      }
+      // Make the relocated records durable before destroying their old
+      // home. (A fully-dead victim skips this, so reclaiming it needs no
+      // free block — that breaks the free==0 deadlock.)
+      TC_RETURN_IF_ERROR(FlushBufferedPage());
+    }
+    TC_RETURN_IF_ERROR(device_->EraseBlock(victim));
+    block_used_[victim] = false;
+    block_records_[victim] = 0;
+    block_dead_[victim] = 0;
+    free_blocks_.push_back(victim);
+    ++stats_.gc_runs;
+  }
+  return Status::OK();
+}
+
+void LogStore::DebugDump() const {
+  std::fprintf(stderr,
+               "LogStore: free=%zu active=%zu(next_page=%zu) buffer=%zu "
+               "index=%zu complete=%d\n",
+               free_blocks_.size(), has_active_block_ ? active_block_ : 999,
+               next_page_in_block_, buffer_records_.size(), index_.size(),
+               index_complete_ ? 1 : 0);
+  for (size_t b = 0; b < block_used_.size(); ++b) {
+    if (block_used_[b]) {
+      std::fprintf(stderr, "  block %zu: records=%u dead=%u\n", b,
+                   block_records_[b], block_dead_[b]);
+    }
+  }
+}
+
+Status LogStore::CompactAll() {
+  std::vector<std::pair<std::string, Bytes>> live;
+  TC_RETURN_IF_ERROR(ScanAll([&](const std::string& key, const Bytes& value) {
+    live.emplace_back(key, value);
+  }));
+  const FlashGeometry& geo = device_->geometry();
+  for (size_t block = 0; block < geo.block_count; ++block) {
+    if (block_used_[block]) {
+      TC_RETURN_IF_ERROR(device_->EraseBlock(block));
+      block_used_[block] = false;
+      block_records_[block] = 0;
+      block_dead_[block] = 0;
+    }
+  }
+  free_blocks_.clear();
+  for (size_t block = 0; block < geo.block_count; ++block) {
+    free_blocks_.push_back(block);
+  }
+  index_.clear();
+  index_ram_bytes_ = 0;
+  index_complete_ = true;
+  buffer_records_.clear();
+  buffer_bytes_ = 0;
+  has_active_block_ = false;
+
+  for (auto& [key, value] : live) {
+    TC_RETURN_IF_ERROR(Append(Record{key, std::move(value), next_seq_++, false},
+                              /*count_as_user_write=*/false));
+  }
+  return FlushBufferedPage();
+}
+
+}  // namespace tc::storage

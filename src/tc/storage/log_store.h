@@ -1,0 +1,176 @@
+#ifndef TC_STORAGE_LOG_STORE_H_
+#define TC_STORAGE_LOG_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tc/common/bytes.h"
+#include "tc/common/result.h"
+#include "tc/storage/flash_device.h"
+#include "tc/storage/page_transform.h"
+
+namespace tc::storage {
+
+/// Tuning knobs of the embedded store.
+struct LogStoreOptions {
+  /// RAM the in-memory index may consume. When the budget is exhausted the
+  /// index degrades to a partial cache over the log: correctness is
+  /// preserved via log scans, at flash-read cost. This is the knob behind
+  /// the paper's "tiny RAM" device-class experiments (E4/E10).
+  size_t ram_budget_bytes = 1 << 20;
+
+  /// Run garbage collection when the free-block pool drops to this size.
+  size_t gc_free_block_threshold = 2;
+};
+
+/// Store statistics surfaced to the experiment harnesses.
+struct LogStoreStats {
+  uint64_t user_bytes_appended = 0;  ///< Payload bytes handed to Put/Delete.
+  uint64_t records_appended = 0;
+  uint64_t gc_runs = 0;
+  uint64_t gc_records_moved = 0;
+  uint64_t full_scans = 0;           ///< Lookups served by log scan.
+  uint64_t index_hits = 0;
+  uint64_t index_insertions_dropped = 0;  ///< RAM budget exhaustions.
+};
+
+/// Log-structured record store over raw NAND flash.
+///
+/// This is the datastore kernel the paper calls for in low-end trusted
+/// cells ("a microcontroller with tiny RAM, connected to NAND Flash chips
+/// or SD cards"). Design points:
+///
+///  * All writes are out-of-place appends (NAND forbids overwrite); a
+///    whole page is buffered in RAM and programmed when full.
+///  * Updates supersede older versions by sequence number; deletes append
+///    tombstones.
+///  * The in-RAM index is a *cache over the log*, bounded by
+///    `ram_budget_bytes`: when it cannot hold every key the store stays
+///    correct by falling back to sequence-ordered log scans (the measured
+///    cost of being RAM-poor, not a functional cliff).
+///  * GC relocates records that are still live out of the victim block and
+///    erases it. Tombstones are retained by GC (dropped only by
+///    CompactAll) so that recovery can never resurrect deleted keys.
+///  * Pages pass through a PageTransform, which the cell configures with
+///    TEE-keyed AEAD so the flash image is confidential and
+///    tamper-evident.
+///
+/// Recovery (`Open` on a non-empty device) rebuilds state by scanning all
+/// programmed pages; records carry sequence numbers, so scan order is
+/// irrelevant.
+class LogStore {
+ public:
+  /// Opens (and recovers) a store on `device`. `transform` and `device`
+  /// must outlive the store; pass the same transform used when the data
+  /// was written or decryption fails.
+  static Result<std::unique_ptr<LogStore>> Open(FlashDevice* device,
+                                                PageTransform* transform,
+                                                const LogStoreOptions& options);
+
+  /// Inserts or overwrites `key`.
+  Status Put(const std::string& key, const Bytes& value);
+
+  /// Latest value for `key`; kNotFound if absent or deleted.
+  Result<Bytes> Get(const std::string& key);
+
+  /// Appends a tombstone for `key` (idempotent).
+  Status Delete(const std::string& key);
+
+  /// Programs the current partial page (no-op when the buffer is empty).
+  /// Must be called before the process "powers off" for buffered records
+  /// to survive recovery.
+  Status Flush();
+
+  /// Invokes `fn(key, value)` for every live record, in unspecified order.
+  Status ScanAll(
+      const std::function<void(const std::string&, const Bytes&)>& fn);
+
+  /// Number of live keys (exact; may scan if the index is partial).
+  Result<uint64_t> CountLive();
+
+  /// Full compaction: rewrites every live record and drops all tombstones
+  /// and garbage. Reclaims the space GC cannot.
+  Status CompactAll();
+
+  /// True while the index still covers every key (RAM budget not yet
+  /// exceeded).
+  bool index_complete() const { return index_complete_; }
+  size_t index_ram_bytes() const { return index_ram_bytes_; }
+  const LogStoreStats& stats() const { return stats_; }
+  FlashDevice* device() { return device_; }
+
+  /// Write amplification: flash bytes programmed / user bytes appended.
+  double WriteAmplification() const;
+
+  /// Largest value size a single record can hold.
+  size_t MaxValueSize() const;
+
+  /// Prints block occupancy/dead counts to stderr (debugging aid).
+  void DebugDump() const;
+
+ private:
+  struct IndexEntry {
+    uint64_t page_no;  // kBufferedPage while still in the write buffer.
+    uint64_t seq;
+    bool tombstone;
+  };
+  struct Record {
+    std::string key;
+    Bytes value;
+    uint64_t seq;
+    bool tombstone;
+  };
+  static constexpr uint64_t kBufferedPage = ~0ull;
+
+  LogStore(FlashDevice* device, PageTransform* transform,
+           const LogStoreOptions& options);
+
+  Status Recover();
+  Status Append(Record record, bool count_as_user_write);
+  Status FlushBufferedPage();
+  Result<size_t> AllocateBlock(bool allow_gc);
+  Status RunGc();
+  Status RunGcLocked();
+  size_t EntryRamCost(const std::string& key) const;
+  void IndexInsertOrUpdate(const Record& record, uint64_t page_no);
+  Result<std::vector<Record>> ReadPageRecords(uint64_t page_no);
+  static Bytes SerializeRecord(const Record& record);
+  size_t RecordWireSize(const Record& record) const;
+  Result<Bytes> ScanForKey(const std::string& key);
+  uint64_t PageBlock(uint64_t page_no) const;
+
+  FlashDevice* device_;
+  PageTransform* transform_;
+  LogStoreOptions options_;
+  size_t payload_size_;
+
+  // Write path.
+  std::vector<Record> buffer_records_;
+  size_t buffer_bytes_ = 0;
+  size_t active_block_ = 0;
+  size_t next_page_in_block_ = 0;
+  bool has_active_block_ = false;
+  uint64_t next_seq_ = 1;
+
+  // Index (bounded cache over the log).
+  std::unordered_map<std::string, IndexEntry> index_;
+  size_t index_ram_bytes_ = 0;
+  bool index_complete_ = true;
+
+  // Block bookkeeping.
+  std::vector<size_t> free_blocks_;
+  std::vector<bool> block_used_;
+  std::vector<uint32_t> block_records_;
+  std::vector<uint32_t> block_dead_;
+  bool in_gc_ = false;
+
+  LogStoreStats stats_;
+};
+
+}  // namespace tc::storage
+
+#endif  // TC_STORAGE_LOG_STORE_H_

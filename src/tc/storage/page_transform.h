@@ -1,0 +1,70 @@
+#ifndef TC_STORAGE_PAGE_TRANSFORM_H_
+#define TC_STORAGE_PAGE_TRANSFORM_H_
+
+#include <string>
+
+#include "tc/common/bytes.h"
+#include "tc/common/result.h"
+#include "tc/tee/tee.h"
+
+namespace tc::storage {
+
+/// Hook between the log-structured store and the flash device: every page
+/// passes through Encode on the way down and Decode on the way up.
+/// Implementations must be size-preserving in the sense that
+/// Encode(payload of size usable_payload()) fits one flash page.
+class PageTransform {
+ public:
+  virtual ~PageTransform() = default;
+
+  /// Bytes of payload available to the store per `page_size` flash page.
+  virtual size_t UsablePayload(size_t page_size) const = 0;
+
+  /// `payload.size() == UsablePayload(page_size)`; returns page_size bytes.
+  virtual Result<Bytes> Encode(uint64_t page_no, uint64_t incarnation,
+                               const Bytes& payload) = 0;
+
+  /// Inverse of Encode. Must fail with kIntegrityViolation on tampering.
+  virtual Result<Bytes> Decode(uint64_t page_no, uint64_t incarnation,
+                               const Bytes& page) = 0;
+};
+
+/// Identity transform (plaintext pages) — the baseline configuration in the
+/// E6/E10 overhead experiments.
+class PlainPageTransform : public PageTransform {
+ public:
+  size_t UsablePayload(size_t page_size) const override { return page_size; }
+  Result<Bytes> Encode(uint64_t page_no, uint64_t incarnation,
+                       const Bytes& payload) override;
+  Result<Bytes> Decode(uint64_t page_no, uint64_t incarnation,
+                       const Bytes& page) override;
+};
+
+/// AEAD page encryption keyed from the cell's TEE.
+///
+/// This realizes the paper's "optional and potentially untrusted mass
+/// storage": the NAND contents are ciphertext; confidentiality and
+/// integrity rest on a key that never leaves the TEE's tamper-resistant
+/// memory. The AAD binds (page_no, incarnation) so pages cannot be
+/// transplanted or replayed across erase cycles of the same page.
+class EncryptedPageTransform : public PageTransform {
+ public:
+  /// `key_name` must already exist in the TEE keystore.
+  EncryptedPageTransform(tee::TrustedExecutionEnvironment* tee,
+                         std::string key_name);
+
+  size_t UsablePayload(size_t page_size) const override;
+  Result<Bytes> Encode(uint64_t page_no, uint64_t incarnation,
+                       const Bytes& payload) override;
+  Result<Bytes> Decode(uint64_t page_no, uint64_t incarnation,
+                       const Bytes& page) override;
+
+ private:
+  static Bytes MakeAad(uint64_t page_no, uint64_t incarnation);
+  tee::TrustedExecutionEnvironment* tee_;
+  std::string key_name_;
+};
+
+}  // namespace tc::storage
+
+#endif  // TC_STORAGE_PAGE_TRANSFORM_H_

@@ -1,0 +1,52 @@
+#include "tc/tee/attestation.h"
+
+#include "tc/common/codec.h"
+#include "tc/crypto/group.h"
+
+namespace tc::tee {
+
+Bytes Quote::SignedPayload() const {
+  BinaryWriter w;
+  w.PutString("tc.quote.v1");
+  w.PutString(device_id);
+  w.PutBytes(nonce);
+  w.PutString(claims);
+  w.PutU64(boot_counter);
+  return w.Take();
+}
+
+Manufacturer::Manufacturer(const std::string& seed_label, size_t group_bits)
+    : group_bits_(group_bits),
+      rng_(ToBytes("tc.manufacturer." + seed_label)) {
+  crypto::Schnorr schnorr(crypto::GroupParams::Standard(group_bits_));
+  key_pair_ = schnorr.GenerateKeyPair(rng_);
+}
+
+Bytes Manufacturer::EndorsementPayload(
+    const std::string& device_id, const crypto::BigInt& device_public_key) {
+  BinaryWriter w;
+  w.PutString("tc.endorsement.v1");
+  w.PutString(device_id);
+  w.PutBytes(device_public_key.ToBytesBE());
+  return w.Take();
+}
+
+Endorsement Manufacturer::Endorse(const std::string& device_id,
+                                  const crypto::BigInt& device_public_key) {
+  crypto::Schnorr schnorr(crypto::GroupParams::Standard(group_bits_));
+  return Endorsement{
+      device_id, device_public_key,
+      schnorr.Sign(key_pair_.private_key,
+                   EndorsementPayload(device_id, device_public_key), rng_)};
+}
+
+bool Manufacturer::VerifyEndorsement(const Endorsement& endorsement) const {
+  crypto::Schnorr schnorr(crypto::GroupParams::Standard(group_bits_));
+  return schnorr.Verify(
+      key_pair_.public_key,
+      EndorsementPayload(endorsement.device_id,
+                         endorsement.device_public_key),
+      endorsement.signature);
+}
+
+}  // namespace tc::tee

@@ -1,0 +1,60 @@
+#ifndef TC_TEE_ATTESTATION_H_
+#define TC_TEE_ATTESTATION_H_
+
+#include <string>
+
+#include "tc/common/bytes.h"
+#include "tc/crypto/schnorr.h"
+
+namespace tc::tee {
+
+/// Manufacturer endorsement of a device signing key — the root of the
+/// "certification of the hardware and software platform" the paper lists
+/// among the trusted cell's security factors.
+struct Endorsement {
+  std::string device_id;
+  crypto::BigInt device_public_key;
+  crypto::SchnorrSignature signature;
+};
+
+/// Remote-attestation quote produced inside a TEE: proof to a peer cell (or
+/// a data provider installing a trusted source) that it is talking to
+/// genuine, un-breached trusted-cell firmware in a given state.
+struct Quote {
+  std::string device_id;
+  Bytes nonce;           ///< Challenger-supplied freshness nonce.
+  std::string claims;    ///< Firmware/state claims (free-form, signed).
+  uint64_t boot_counter; ///< Device monotonic boot counter at quote time.
+  crypto::SchnorrSignature signature;
+
+  /// The byte string the signature covers.
+  Bytes SignedPayload() const;
+};
+
+/// Simulated secure-hardware manufacturer: owns a CA key pair, endorses
+/// device keys at provisioning time. Verifiers trust the manufacturer's
+/// public key out of band.
+class Manufacturer {
+ public:
+  /// Deterministic CA from a seed label (e.g. "tc-silicon-vendor").
+  Manufacturer(const std::string& seed_label, size_t group_bits = 512);
+
+  Endorsement Endorse(const std::string& device_id,
+                      const crypto::BigInt& device_public_key);
+
+  bool VerifyEndorsement(const Endorsement& endorsement) const;
+
+  const crypto::BigInt& public_key() const { return key_pair_.public_key; }
+  size_t group_bits() const { return group_bits_; }
+
+ private:
+  static Bytes EndorsementPayload(const std::string& device_id,
+                                  const crypto::BigInt& device_public_key);
+  size_t group_bits_;
+  crypto::SecureRandom rng_;
+  crypto::SchnorrKeyPair key_pair_;
+};
+
+}  // namespace tc::tee
+
+#endif  // TC_TEE_ATTESTATION_H_

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "tc/common/rng.h"
+#include "tc/crypto/bignum.h"
+
+namespace tc::crypto {
+namespace {
+
+BigInt FromHexOrDie(std::string_view hex) {
+  auto r = BigInt::FromHex(hex);
+  TC_CHECK(r.ok());
+  return *r;
+}
+
+TEST(BigIntTest, ZeroProperties) {
+  BigInt zero;
+  EXPECT_TRUE(zero.IsZero());
+  EXPECT_TRUE(zero.IsEven());
+  EXPECT_EQ(zero.BitLength(), 0u);
+  EXPECT_EQ(zero.ToHex(), "0");
+  EXPECT_EQ(zero.ToBytesBE(), Bytes{0});
+}
+
+TEST(BigIntTest, U64RoundTrip) {
+  for (uint64_t v : {0ULL, 1ULL, 0xffffffffULL, 0x100000000ULL,
+                     0xdeadbeefcafebabeULL}) {
+    EXPECT_EQ(BigInt(v).ToU64(), v);
+  }
+}
+
+TEST(BigIntTest, HexRoundTrip) {
+  const char* kHex = "deadbeefcafebabe0123456789abcdef00ff";
+  BigInt v = FromHexOrDie(kHex);
+  EXPECT_EQ(v.ToHex(), kHex);
+}
+
+TEST(BigIntTest, BytesRoundTrip) {
+  Bytes b = {0x01, 0x00, 0xff, 0x42, 0x00};
+  BigInt v = BigInt::FromBytesBE(b);
+  EXPECT_EQ(v.ToBytesBE(5), b);
+  // Minimal encoding drops nothing here (leading byte non-zero).
+  EXPECT_EQ(v.ToBytesBE(), b);
+}
+
+TEST(BigIntTest, CompareOrdering) {
+  BigInt a(5), b(7), c = FromHexOrDie("10000000000000000");  // 2^64
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(BigInt::Compare(a, a), 0);
+  EXPECT_GT(c, a);
+}
+
+TEST(BigIntTest, AddSubInverse) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    uint64_t x = rng.NextU64() >> 1;
+    uint64_t y = rng.NextU64() >> 1;
+    BigInt a(x), b(y);
+    BigInt sum = BigInt::Add(a, b);
+    EXPECT_EQ(sum.ToU64(), x + y);
+    EXPECT_EQ(BigInt::Sub(sum, b), a);
+    EXPECT_EQ(BigInt::Sub(sum, a), b);
+  }
+}
+
+TEST(BigIntTest, AddCarriesAcrossLimbs) {
+  BigInt a = FromHexOrDie("ffffffffffffffffffffffffffffffff");
+  BigInt one(1);
+  EXPECT_EQ(BigInt::Add(a, one).ToHex(), "100000000000000000000000000000000");
+}
+
+TEST(BigIntTest, MulMatchesU64) {
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    uint64_t x = rng.NextU64() >> 33;
+    uint64_t y = rng.NextU64() >> 33;
+    EXPECT_EQ(BigInt::Mul(BigInt(x), BigInt(y)).ToU64(), x * y);
+  }
+}
+
+TEST(BigIntTest, MulKnownBigProduct) {
+  // (2^128 - 1)^2 = 2^256 - 2^129 + 1.
+  BigInt a = FromHexOrDie("ffffffffffffffffffffffffffffffff");
+  EXPECT_EQ(BigInt::Mul(a, a).ToHex(),
+            "fffffffffffffffffffffffffffffffe"
+            "00000000000000000000000000000001");
+}
+
+TEST(BigIntTest, DivModReconstructs) {
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    // Random sizes including multi-limb divisors to exercise Algorithm D.
+    size_t abits = 1 + rng.NextBelow(512);
+    size_t bbits = 1 + rng.NextBelow(256);
+    Bytes araw = rng.NextBytes((abits + 7) / 8);
+    Bytes braw = rng.NextBytes((bbits + 7) / 8);
+    BigInt a = BigInt::FromBytesBE(araw);
+    BigInt b = BigInt::FromBytesBE(braw);
+    if (b.IsZero()) continue;
+    BigInt rem;
+    BigInt q = BigInt::DivMod(a, b, &rem);
+    EXPECT_LT(rem, b);
+    EXPECT_EQ(BigInt::Add(BigInt::Mul(q, b), rem), a);
+  }
+}
+
+TEST(BigIntTest, DivModAlgorithmDAddBackCase) {
+  // Divisor with maximal top limb stresses the qhat correction path.
+  BigInt a = FromHexOrDie("800000000000000000000000000000000000000000000000");
+  BigInt b = FromHexOrDie("ffffffffffffffffffffffff");
+  BigInt rem;
+  BigInt q = BigInt::DivMod(a, b, &rem);
+  EXPECT_EQ(BigInt::Add(BigInt::Mul(q, b), rem), a);
+  EXPECT_LT(rem, b);
+}
+
+TEST(BigIntTest, ShiftRoundTrip) {
+  BigInt v = FromHexOrDie("123456789abcdef0123456789abcdef");
+  for (size_t s : {1u, 31u, 32u, 33u, 64u, 100u}) {
+    EXPECT_EQ(BigInt::ShiftRight(BigInt::ShiftLeft(v, s), s), v);
+  }
+}
+
+TEST(BigIntTest, BitAccess) {
+  BigInt v = FromHexOrDie("8000000000000001");
+  EXPECT_TRUE(v.Bit(0));
+  EXPECT_FALSE(v.Bit(1));
+  EXPECT_TRUE(v.Bit(63));
+  EXPECT_FALSE(v.Bit(64));
+  EXPECT_EQ(v.BitLength(), 64u);
+}
+
+TEST(BigIntTest, ModExpSmallKnownValues) {
+  // 3^7 mod 10 = 2187 mod 10 = 7.
+  EXPECT_EQ(BigInt::ModExp(BigInt(3), BigInt(7), BigInt(10)).ToU64(), 7u);
+  // Fermat: a^(p-1) = 1 mod p for prime p.
+  BigInt p(1000003);
+  EXPECT_TRUE(
+      BigInt::ModExp(BigInt(12345), BigInt(1000002), p).IsOne());
+  // Anything mod 1 is 0.
+  EXPECT_TRUE(BigInt::ModExp(BigInt(5), BigInt(5), BigInt(1)).IsZero());
+}
+
+TEST(BigIntTest, ModExpLargeFermat) {
+  SecureRandom rng(ToBytes("modexp-test"));
+  BigInt p = BigInt::GeneratePrime(rng, 192);
+  BigInt a = BigInt::RandomBelow(rng, p);
+  if (a.IsZero()) a = BigInt(2);
+  EXPECT_TRUE(BigInt::ModExp(a, BigInt::Sub(p, BigInt(1)), p).IsOne());
+}
+
+TEST(BigIntTest, ModInverseCorrect) {
+  SecureRandom rng(ToBytes("inverse-test"));
+  BigInt p = BigInt::GeneratePrime(rng, 128);
+  for (int i = 0; i < 20; ++i) {
+    BigInt a = BigInt::RandomBelow(rng, p);
+    if (a.IsZero()) continue;
+    auto inv = BigInt::ModInverse(a, p);
+    ASSERT_TRUE(inv.ok());
+    EXPECT_TRUE(BigInt::ModMul(a, *inv, p).IsOne());
+  }
+}
+
+TEST(BigIntTest, ModInverseOfNonCoprimeFails) {
+  EXPECT_FALSE(BigInt::ModInverse(BigInt(6), BigInt(9)).ok());
+  EXPECT_FALSE(BigInt::ModInverse(BigInt(0), BigInt(7)).ok());
+}
+
+TEST(BigIntTest, GcdKnownValues) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(48), BigInt(36)).ToU64(), 12u);
+  EXPECT_EQ(BigInt::Gcd(BigInt(17), BigInt(5)).ToU64(), 1u);
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(5)).ToU64(), 5u);
+}
+
+TEST(BigIntTest, ModSubWrapsCorrectly) {
+  BigInt m(100);
+  EXPECT_EQ(BigInt::ModSub(BigInt(3), BigInt(7), m).ToU64(), 96u);
+  EXPECT_EQ(BigInt::ModSub(BigInt(7), BigInt(3), m).ToU64(), 4u);
+}
+
+TEST(BigIntTest, RandomBelowInRange) {
+  SecureRandom rng(ToBytes("range-test"));
+  BigInt bound(1000);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(BigInt::RandomBelow(rng, bound), bound);
+  }
+}
+
+TEST(BigIntTest, RandomBitsHasExactBitLength) {
+  SecureRandom rng(ToBytes("bits-test"));
+  for (size_t bits : {1u, 8u, 9u, 33u, 256u}) {
+    EXPECT_EQ(BigInt::RandomBits(rng, bits).BitLength(), bits);
+  }
+}
+
+TEST(BigIntTest, PrimalityKnownPrimesAndComposites) {
+  SecureRandom rng(ToBytes("prime-test"));
+  for (uint64_t p : {2u, 3u, 5u, 7u, 97u, 65537u, 1000003u}) {
+    EXPECT_TRUE(BigInt::IsProbablePrime(BigInt(p), rng)) << p;
+  }
+  for (uint64_t c : {1u, 4u, 100u, 65536u, 1000001u}) {
+    EXPECT_FALSE(BigInt::IsProbablePrime(BigInt(c), rng)) << c;
+  }
+  // Carmichael number 561 = 3 * 11 * 17 must be rejected.
+  EXPECT_FALSE(BigInt::IsProbablePrime(BigInt(561), rng));
+}
+
+TEST(BigIntTest, GeneratePrimeHasRequestedSize) {
+  SecureRandom rng(ToBytes("genprime-test"));
+  BigInt p = BigInt::GeneratePrime(rng, 96);
+  EXPECT_EQ(p.BitLength(), 96u);
+  EXPECT_TRUE(BigInt::IsProbablePrime(p, rng));
+}
+
+}  // namespace
+}  // namespace tc::crypto

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "tc/cloud/infrastructure.h"
+
+namespace tc::cloud {
+namespace {
+
+TEST(BlobStoreTest, VersionedPuts) {
+  BlobStore store;
+  EXPECT_EQ(store.Put("a", ToBytes("v1")), 1u);
+  EXPECT_EQ(store.Put("a", ToBytes("v2")), 2u);
+  EXPECT_EQ(*store.Get("a"), ToBytes("v2"));
+  EXPECT_EQ(*store.GetVersion("a", 1), ToBytes("v1"));
+  EXPECT_EQ(*store.LatestVersion("a"), 2u);
+  EXPECT_FALSE(store.GetVersion("a", 3).ok());
+  EXPECT_FALSE(store.Get("missing").ok());
+}
+
+TEST(BlobStoreTest, ListByPrefix) {
+  BlobStore store;
+  store.Put("space/alice/doc/1", {1});
+  store.Put("space/alice/doc/2", {2});
+  store.Put("space/bob/doc/1", {3});
+  auto alice = store.List("space/alice/");
+  EXPECT_EQ(alice.size(), 2u);
+  EXPECT_EQ(store.List("space/").size(), 3u);
+  EXPECT_TRUE(store.List("nope/").empty());
+}
+
+TEST(BlobStoreTest, DeleteAndAccounting) {
+  BlobStore store;
+  store.Put("a", Bytes(100));
+  store.Put("a", Bytes(50));
+  EXPECT_EQ(store.total_bytes(), 150u);
+  ASSERT_TRUE(store.Delete("a").ok());
+  EXPECT_EQ(store.total_bytes(), 0u);
+  EXPECT_FALSE(store.Delete("a").ok());
+}
+
+TEST(CloudTest, HonestMessaging) {
+  CloudInfrastructure cloud;
+  cloud.Send("alice", "bob", "greeting", ToBytes("hi"));
+  cloud.Send("alice", "bob", "greeting", ToBytes("again"));
+  cloud.Send("alice", "carol", "greeting", ToBytes("yo"));
+  EXPECT_EQ(cloud.PendingCount("bob"), 2u);
+  auto messages = cloud.Receive("bob");
+  ASSERT_EQ(messages.size(), 2u);
+  EXPECT_EQ(messages[0].from, "alice");
+  EXPECT_EQ(messages[0].topic, "greeting");
+  EXPECT_EQ(ToString(messages[0].payload), "hi");
+  EXPECT_TRUE(cloud.Receive("bob").empty());
+  EXPECT_EQ(cloud.Receive("carol").size(), 1u);
+  EXPECT_EQ(cloud.stats().messages_sent, 3u);
+  EXPECT_EQ(cloud.stats().messages_delivered, 3u);
+}
+
+TEST(CloudTest, HonestBlobsAreFaithful) {
+  CloudInfrastructure cloud;
+  Bytes data = ToBytes("sealed payload");
+  cloud.PutBlob("x", data);
+  EXPECT_EQ(*cloud.GetBlob("x"), data);
+  EXPECT_TRUE(cloud.BlobExists("x"));
+  EXPECT_EQ(cloud.adversary_stats().reads_tampered, 0u);
+}
+
+TEST(CloudTest, TamperingAdversaryCorruptsReads) {
+  AdversaryConfig adversary;
+  adversary.tamper_read_prob = 1.0;
+  CloudInfrastructure cloud(adversary);
+  Bytes data(100, 0x55);
+  cloud.PutBlob("x", data);
+  Bytes read = *cloud.GetBlob("x");
+  EXPECT_NE(read, data);
+  EXPECT_EQ(cloud.adversary_stats().reads_tampered, 1u);
+  // The stored blob itself is intact; only reads are corrupted.
+  adversary.tamper_read_prob = 0;
+  cloud.set_adversary(adversary);
+  EXPECT_EQ(*cloud.GetBlob("x"), data);
+}
+
+TEST(CloudTest, RollbackAdversaryServesStaleVersions) {
+  AdversaryConfig adversary;
+  adversary.rollback_read_prob = 1.0;
+  CloudInfrastructure cloud(adversary);
+  cloud.PutBlob("x", ToBytes("v1"));
+  cloud.PutBlob("x", ToBytes("v2"));
+  cloud.PutBlob("x", ToBytes("v3"));
+  Bytes read = *cloud.GetBlob("x");
+  EXPECT_NE(read, ToBytes("v3"));
+  EXPECT_GE(cloud.adversary_stats().reads_rolled_back, 1u);
+  // Single-version blobs cannot be rolled back.
+  cloud.PutBlob("y", ToBytes("only"));
+  EXPECT_EQ(*cloud.GetBlob("y"), ToBytes("only"));
+}
+
+TEST(CloudTest, DroppingAdversaryLosesMessages) {
+  AdversaryConfig adversary;
+  adversary.drop_message_prob = 1.0;
+  CloudInfrastructure cloud(adversary);
+  cloud.Send("a", "b", "t", ToBytes("gone"));
+  EXPECT_TRUE(cloud.Receive("b").empty());
+  EXPECT_EQ(cloud.adversary_stats().messages_dropped, 1u);
+}
+
+TEST(CloudTest, ReplayAdversaryRedeliversOldMessages) {
+  AdversaryConfig adversary;
+  adversary.replay_message_prob = 1.0;
+  adversary.seed = 3;
+  CloudInfrastructure cloud(adversary);
+  cloud.Send("a", "b", "t", ToBytes("m1"));
+  auto first = cloud.Receive("b");
+  ASSERT_EQ(first.size(), 1u);
+  // Next receive has nothing pending but the adversary replays m1.
+  auto replayed = cloud.Receive("b");
+  ASSERT_GE(replayed.size(), 1u);
+  EXPECT_EQ(ToString(replayed[0].payload), "m1");
+  EXPECT_GE(cloud.adversary_stats().messages_replayed, 1u);
+}
+
+TEST(CloudTest, ProbabilisticAdversaryRatesRoughlyMatch) {
+  AdversaryConfig adversary;
+  adversary.tamper_read_prob = 0.2;
+  adversary.seed = 11;
+  CloudInfrastructure cloud(adversary);
+  cloud.PutBlob("x", Bytes(64, 1));
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) (void)cloud.GetBlob("x");
+  double rate =
+      static_cast<double>(cloud.adversary_stats().reads_tampered) / n;
+  EXPECT_NEAR(rate, 0.2, 0.04);
+}
+
+}  // namespace
+}  // namespace tc::cloud

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include "tc/crypto/dh.h"
+#include "tc/crypto/group.h"
+#include "tc/crypto/paillier.h"
+#include "tc/crypto/schnorr.h"
+#include "tc/crypto/shamir.h"
+
+namespace tc::crypto {
+namespace {
+
+// The 512-bit standard group keeps the test suite fast; group-law validity
+// is itself asserted below.
+
+TEST(GroupTest, StandardGroupValidates) {
+  const GroupParams& g = GroupParams::Standard(512);
+  SecureRandom rng(ToBytes("group-validate"));
+  EXPECT_TRUE(g.Validate(rng));
+  EXPECT_EQ(g.p.BitLength(), 512u);
+  EXPECT_EQ(g.q.BitLength(), 256u);
+}
+
+TEST(GroupTest, StandardGroupIsDeterministic) {
+  const GroupParams& a = GroupParams::Standard(512);
+  const GroupParams& b = GroupParams::Standard(512);
+  EXPECT_EQ(a.p, b.p);
+  EXPECT_EQ(a.g, b.g);
+}
+
+TEST(DhTest, SharedKeysAgree) {
+  const GroupParams& g = GroupParams::Standard(512);
+  DiffieHellman dh(g);
+  SecureRandom rng_a(ToBytes("alice")), rng_b(ToBytes("bob"));
+  DhKeyPair alice = dh.GenerateKeyPair(rng_a);
+  DhKeyPair bob = dh.GenerateKeyPair(rng_b);
+  auto k_ab = dh.ComputeSharedKey(alice.private_key, bob.public_key);
+  auto k_ba = dh.ComputeSharedKey(bob.private_key, alice.public_key);
+  ASSERT_TRUE(k_ab.ok());
+  ASSERT_TRUE(k_ba.ok());
+  EXPECT_EQ(*k_ab, *k_ba);
+  EXPECT_EQ(k_ab->size(), 32u);
+}
+
+TEST(DhTest, DifferentPeersGiveDifferentKeys) {
+  const GroupParams& g = GroupParams::Standard(512);
+  DiffieHellman dh(g);
+  SecureRandom rng(ToBytes("three-parties"));
+  DhKeyPair a = dh.GenerateKeyPair(rng);
+  DhKeyPair b = dh.GenerateKeyPair(rng);
+  DhKeyPair c = dh.GenerateKeyPair(rng);
+  EXPECT_NE(*dh.ComputeSharedKey(a.private_key, b.public_key),
+            *dh.ComputeSharedKey(a.private_key, c.public_key));
+}
+
+TEST(DhTest, RejectsOutOfRangeAndSmallSubgroupKeys) {
+  const GroupParams& g = GroupParams::Standard(512);
+  DiffieHellman dh(g);
+  SecureRandom rng(ToBytes("dh-validate"));
+  DhKeyPair a = dh.GenerateKeyPair(rng);
+  EXPECT_FALSE(dh.ComputeSharedKey(a.private_key, BigInt(1)).ok());
+  EXPECT_FALSE(dh.ComputeSharedKey(a.private_key, g.p).ok());
+  EXPECT_FALSE(
+      dh.ComputeSharedKey(a.private_key, BigInt::Sub(g.p, BigInt(1))).ok());
+  // A random element of Z_p* is overwhelmingly unlikely to lie in the
+  // q-order subgroup; the subgroup check must reject it.
+  BigInt outside(12345);
+  if (!BigInt::ModExp(outside, g.q, g.p).IsOne()) {
+    EXPECT_FALSE(dh.ComputeSharedKey(a.private_key, outside).ok());
+  }
+}
+
+TEST(SchnorrTest, SignVerifyRoundTrip) {
+  const GroupParams& g = GroupParams::Standard(512);
+  Schnorr schnorr(g);
+  SecureRandom rng(ToBytes("schnorr"));
+  SchnorrKeyPair kp = schnorr.GenerateKeyPair(rng);
+  Bytes msg = ToBytes("certified reading: 2013-01 total 412 kWh");
+  SchnorrSignature sig = schnorr.Sign(kp.private_key, msg, rng);
+  EXPECT_TRUE(schnorr.Verify(kp.public_key, msg, sig));
+}
+
+TEST(SchnorrTest, RejectsTamperedMessage) {
+  const GroupParams& g = GroupParams::Standard(512);
+  Schnorr schnorr(g);
+  SecureRandom rng(ToBytes("schnorr2"));
+  SchnorrKeyPair kp = schnorr.GenerateKeyPair(rng);
+  SchnorrSignature sig = schnorr.Sign(kp.private_key, ToBytes("412 kWh"), rng);
+  EXPECT_FALSE(schnorr.Verify(kp.public_key, ToBytes("999 kWh"), sig));
+}
+
+TEST(SchnorrTest, RejectsWrongKey) {
+  const GroupParams& g = GroupParams::Standard(512);
+  Schnorr schnorr(g);
+  SecureRandom rng(ToBytes("schnorr3"));
+  SchnorrKeyPair kp1 = schnorr.GenerateKeyPair(rng);
+  SchnorrKeyPair kp2 = schnorr.GenerateKeyPair(rng);
+  Bytes msg = ToBytes("msg");
+  SchnorrSignature sig = schnorr.Sign(kp1.private_key, msg, rng);
+  EXPECT_FALSE(schnorr.Verify(kp2.public_key, msg, sig));
+}
+
+TEST(SchnorrTest, RejectsMalformedSignature) {
+  const GroupParams& g = GroupParams::Standard(512);
+  Schnorr schnorr(g);
+  SecureRandom rng(ToBytes("schnorr4"));
+  SchnorrKeyPair kp = schnorr.GenerateKeyPair(rng);
+  Bytes msg = ToBytes("msg");
+  SchnorrSignature sig = schnorr.Sign(kp.private_key, msg, rng);
+  SchnorrSignature bad = sig;
+  bad.s = BigInt::Add(bad.s, BigInt(1));
+  EXPECT_FALSE(schnorr.Verify(kp.public_key, msg, bad));
+  bad = sig;
+  bad.e = g.q;  // Out of range.
+  EXPECT_FALSE(schnorr.Verify(kp.public_key, msg, bad));
+}
+
+TEST(SchnorrTest, SignatureSerializationRoundTrip) {
+  const GroupParams& g = GroupParams::Standard(512);
+  Schnorr schnorr(g);
+  SecureRandom rng(ToBytes("schnorr5"));
+  SchnorrKeyPair kp = schnorr.GenerateKeyPair(rng);
+  Bytes msg = ToBytes("serialize me");
+  SchnorrSignature sig = schnorr.Sign(kp.private_key, msg, rng);
+  Bytes wire = sig.Serialize(32);
+  auto back = SchnorrSignature::Deserialize(wire);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(schnorr.Verify(kp.public_key, msg, *back));
+}
+
+TEST(PaillierTest, EncryptDecryptRoundTrip) {
+  SecureRandom rng(ToBytes("paillier"));
+  PaillierKeyPair kp = Paillier::GenerateKeyPair(rng, 512);
+  for (uint64_t m : {0ULL, 1ULL, 42ULL, 123456789ULL}) {
+    auto c = kp.pub.Encrypt(BigInt(m), rng);
+    ASSERT_TRUE(c.ok());
+    auto back = kp.priv.Decrypt(*c, kp.pub);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->ToU64(), m);
+  }
+}
+
+TEST(PaillierTest, EncryptionIsRandomized) {
+  SecureRandom rng(ToBytes("paillier-rand"));
+  PaillierKeyPair kp = Paillier::GenerateKeyPair(rng, 512);
+  auto c1 = *kp.pub.Encrypt(BigInt(5), rng);
+  auto c2 = *kp.pub.Encrypt(BigInt(5), rng);
+  EXPECT_NE(c1, c2);
+  EXPECT_EQ(kp.priv.Decrypt(c1, kp.pub)->ToU64(), 5u);
+  EXPECT_EQ(kp.priv.Decrypt(c2, kp.pub)->ToU64(), 5u);
+}
+
+TEST(PaillierTest, HomomorphicAddition) {
+  SecureRandom rng(ToBytes("paillier-add"));
+  PaillierKeyPair kp = Paillier::GenerateKeyPair(rng, 512);
+  auto c1 = *kp.pub.Encrypt(BigInt(1111), rng);
+  auto c2 = *kp.pub.Encrypt(BigInt(2222), rng);
+  auto c3 = *kp.pub.Encrypt(BigInt(3333), rng);
+  BigInt sum = kp.pub.AddCiphertexts(kp.pub.AddCiphertexts(c1, c2), c3);
+  EXPECT_EQ(kp.priv.Decrypt(sum, kp.pub)->ToU64(), 6666u);
+}
+
+TEST(PaillierTest, HomomorphicScalarMultiply) {
+  SecureRandom rng(ToBytes("paillier-mul"));
+  PaillierKeyPair kp = Paillier::GenerateKeyPair(rng, 512);
+  auto c = *kp.pub.Encrypt(BigInt(21), rng);
+  BigInt doubled = kp.pub.MulPlaintext(c, BigInt(2));
+  EXPECT_EQ(kp.priv.Decrypt(doubled, kp.pub)->ToU64(), 42u);
+}
+
+TEST(PaillierTest, RejectsOversizedPlaintext) {
+  SecureRandom rng(ToBytes("paillier-big"));
+  PaillierKeyPair kp = Paillier::GenerateKeyPair(rng, 512);
+  EXPECT_FALSE(kp.pub.Encrypt(kp.pub.n, rng).ok());
+  EXPECT_FALSE(kp.priv.Decrypt(kp.pub.n_squared, kp.pub).ok());
+}
+
+TEST(ShamirTest, SplitReconstructExactThreshold) {
+  SecureRandom rng(ToBytes("shamir"));
+  BigInt secret(0xdeadbeefULL);
+  auto shares = ShamirSecretSharing::Split(secret, 3, 5, rng);
+  ASSERT_TRUE(shares.ok());
+  EXPECT_EQ(shares->size(), 5u);
+  std::vector<ShamirShare> subset = {(*shares)[0], (*shares)[2],
+                                     (*shares)[4]};
+  EXPECT_EQ(*ShamirSecretSharing::Reconstruct(subset), secret);
+}
+
+TEST(ShamirTest, AnyThresholdSubsetWorks) {
+  SecureRandom rng(ToBytes("shamir-subsets"));
+  BigInt secret(987654321ULL);
+  auto shares = *ShamirSecretSharing::Split(secret, 2, 4, rng);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = i + 1; j < 4; ++j) {
+      EXPECT_EQ(*ShamirSecretSharing::Reconstruct({shares[i], shares[j]}),
+                secret);
+    }
+  }
+}
+
+TEST(ShamirTest, BelowThresholdGivesWrongSecret) {
+  SecureRandom rng(ToBytes("shamir-below"));
+  BigInt secret(42);
+  auto shares = *ShamirSecretSharing::Split(secret, 3, 5, rng);
+  // Two shares of a threshold-3 scheme: interpolation succeeds but the
+  // value is (with overwhelming probability over the random polynomial)
+  // not the secret.
+  auto wrong = ShamirSecretSharing::Reconstruct({shares[0], shares[1]});
+  ASSERT_TRUE(wrong.ok());
+  EXPECT_NE(*wrong, secret);
+}
+
+TEST(ShamirTest, KeySplitRoundTrip) {
+  SecureRandom rng(ToBytes("shamir-key"));
+  Bytes key = rng.NextBytes(32);
+  auto shares = *ShamirSecretSharing::SplitKey(key, 3, 6, rng);
+  std::vector<ShamirShare> subset = {shares[1], shares[3], shares[5]};
+  EXPECT_EQ(*ShamirSecretSharing::ReconstructKey(subset), key);
+}
+
+TEST(ShamirTest, RejectsBadParameters) {
+  SecureRandom rng(ToBytes("shamir-bad"));
+  EXPECT_FALSE(ShamirSecretSharing::Split(BigInt(1), 0, 5, rng).ok());
+  EXPECT_FALSE(ShamirSecretSharing::Split(BigInt(1), 6, 5, rng).ok());
+  EXPECT_FALSE(
+      ShamirSecretSharing::Split(ShamirSecretSharing::FieldPrime(), 2, 3, rng)
+          .ok());
+  EXPECT_FALSE(ShamirSecretSharing::Reconstruct({}).ok());
+}
+
+TEST(ShamirTest, RejectsDuplicateShares) {
+  SecureRandom rng(ToBytes("shamir-dup"));
+  auto shares = *ShamirSecretSharing::Split(BigInt(7), 2, 3, rng);
+  EXPECT_FALSE(
+      ShamirSecretSharing::Reconstruct({shares[0], shares[0]}).ok());
+}
+
+TEST(ShamirTest, ThresholdOneIsConstantPolynomial) {
+  SecureRandom rng(ToBytes("shamir-t1"));
+  BigInt secret(123);
+  auto shares = *ShamirSecretSharing::Split(secret, 1, 3, rng);
+  for (const auto& s : shares) {
+    EXPECT_EQ(*ShamirSecretSharing::Reconstruct({s}), secret);
+  }
+}
+
+}  // namespace
+}  // namespace tc::crypto

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "tc/nilm/activity_inference.h"
+#include "tc/nilm/disaggregator.h"
+
+namespace tc::nilm {
+namespace {
+
+using sensors::ApplianceType;
+using sensors::DayTrace;
+using sensors::HouseholdSimulator;
+
+// The "activity appliances" whose detection constitutes the privacy
+// threat the paper motivates with (kettle = tea time, oven = dinner, ...).
+std::vector<ApplianceType> ActivityAppliances() {
+  return {ApplianceType::kKettle, ApplianceType::kOven,
+          ApplianceType::kWashingMachine, ApplianceType::kDishwasher,
+          ApplianceType::kEvCharger};
+}
+
+TEST(DisaggregatorTest, DetectsSyntheticKettle) {
+  // Flat base of 100 W with one kettle activation at t=1000.
+  Rng rng(5);
+  std::vector<int> trace(4000, 100);
+  auto kettle = sensors::ActivationTrace(ApplianceType::kKettle, rng);
+  for (size_t i = 0; i < kettle.size(); ++i) trace[1000 + i] += kettle[i];
+
+  Disaggregator attack;
+  auto events = attack.Detect(trace, 1);
+  ASSERT_FALSE(events.empty());
+  bool found = false;
+  for (const auto& e : events) {
+    if (e.type == ApplianceType::kKettle &&
+        std::abs(e.start_second - 1000) < 30) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DisaggregatorTest, QuietTraceYieldsNothing) {
+  std::vector<int> trace(3600, 80);
+  Disaggregator attack;
+  EXPECT_TRUE(attack.Detect(trace, 1).empty());
+}
+
+TEST(DisaggregatorTest, AttackWorksAt1HzOnRealisticDay) {
+  HouseholdSimulator sim(HouseholdSimulator::Config{});
+  double f1_sum = 0;
+  int days = 5;
+  Disaggregator attack;
+  for (int d = 0; d < days; ++d) {
+    DayTrace day = sim.SimulateDay(d);
+    auto detected = attack.Detect(day.watts, 1);
+    NilmScore score =
+        Disaggregator::Score(detected, day.events, ActivityAppliances());
+    f1_sum += score.f1;
+  }
+  // The paper's premise: at 1 Hz, appliance signatures are identifiable.
+  EXPECT_GT(f1_sum / days, 0.5);
+}
+
+TEST(DisaggregatorTest, AttackCollapsesAt15MinGranularity) {
+  HouseholdSimulator sim(HouseholdSimulator::Config{});
+  Disaggregator attack;
+  double f1_raw = 0, f1_15min = 0;
+  int days = 5;
+  for (int d = 0; d < days; ++d) {
+    DayTrace day = sim.SimulateDay(d);
+    f1_raw += Disaggregator::Score(attack.Detect(day.watts, 1), day.events,
+                                   ActivityAppliances())
+                  .f1;
+    f1_15min += Disaggregator::Score(attack.Detect(day.Downsample(900), 900),
+                                     day.events, ActivityAppliances())
+                    .f1;
+  }
+  f1_raw /= days;
+  f1_15min /= days;
+  // The paper's claim: "at that granularity one cannot detect specific
+  // activities".
+  EXPECT_LT(f1_15min, f1_raw * 0.5);
+  EXPECT_LT(f1_15min, 0.3);
+}
+
+TEST(DisaggregatorTest, ScoreMathIsConsistent) {
+  std::vector<DetectedEvent> detected = {
+      {ApplianceType::kKettle, 100, 250, 2000},
+      {ApplianceType::kKettle, 5000, 5150, 2000},  // False positive.
+  };
+  std::vector<sensors::ApplianceEvent> truth = {
+      {ApplianceType::kKettle, 90, 240},
+      {ApplianceType::kOven, 8000, 10000},  // Missed.
+  };
+  NilmScore s = Disaggregator::Score(
+      detected, truth, {ApplianceType::kKettle, ApplianceType::kOven});
+  EXPECT_EQ(s.true_positives, 1);
+  EXPECT_EQ(s.false_positives, 1);
+  EXPECT_EQ(s.false_negatives, 1);
+  EXPECT_DOUBLE_EQ(s.precision, 0.5);
+  EXPECT_DOUBLE_EQ(s.recall, 0.5);
+  EXPECT_DOUBLE_EQ(s.f1, 0.5);
+}
+
+TEST(ActivityInferenceTest, RoutineStillVisibleAt15Min) {
+  HouseholdSimulator sim(HouseholdSimulator::Config{});
+  int wake_found = 0, evening_found = 0;
+  int days = 10;
+  for (int d = 0; d < days; ++d) {
+    DayTrace day = sim.SimulateDay(d);
+    DailyRoutine routine = ActivityInference::Infer(day.Downsample(900), 900);
+    if (routine.wake_second >= 0) ++wake_found;
+    if (routine.evening_presence) ++evening_found;
+    EXPECT_GT(routine.overnight_base_watts, 0);
+  }
+  // Paper: "it is still possible to infer a daily routine" at 15 minutes.
+  EXPECT_GE(wake_found, days / 2);
+  EXPECT_GE(evening_found, days / 2);
+}
+
+TEST(ActivityInferenceTest, EmptyHouseShowsNoRoutine) {
+  // Flat base load only (house empty): no wake-up, no evening presence.
+  std::vector<int> flat(96, 75);
+  DailyRoutine routine = ActivityInference::Infer(flat, 900);
+  EXPECT_EQ(routine.wake_second, -1);
+  EXPECT_FALSE(routine.evening_presence);
+}
+
+TEST(ActivityInferenceTest, HandlesDegenerateInput) {
+  EXPECT_EQ(ActivityInference::Infer({}, 900).wake_second, -1);
+  EXPECT_EQ(ActivityInference::Infer({100}, 0).wake_second, -1);
+}
+
+}  // namespace
+}  // namespace tc::nilm

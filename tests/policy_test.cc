@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include "tc/common/clock.h"
+#include "tc/policy/audit.h"
+#include "tc/policy/sticky_policy.h"
+#include "tc/policy/ucon.h"
+
+namespace tc::policy {
+namespace {
+
+// Footnote 6 of the paper: "a photo could be accessed ten times
+// (mutability), in the course of 2012 (condition), informing the owner of
+// the precise access date (obligation)".
+Policy Footnote6Policy() {
+  UsageRule rule;
+  rule.id = "photo-rule";
+  rule.subjects = {"bob"};
+  rule.rights = {Right::kRead};
+  rule.not_before = MakeTimestamp(2012, 1, 1);
+  rule.not_after = MakeTimestamp(2012, 12, 31, 23, 59, 59);
+  rule.max_uses = 10;
+  rule.obligations = {ObligationType::kNotifyOwner,
+                      ObligationType::kLogAccess};
+  Policy p;
+  p.id = "photo-policy";
+  p.owner = "alice";
+  p.rules = {rule};
+  return p;
+}
+
+TEST(UconTest, Footnote6AllowsTenReadsIn2012) {
+  Policy p = Footnote6Policy();
+  DecisionPoint pdp;
+  AccessRequest req{"bob", Right::kRead, {}, MakeTimestamp(2012, 6, 1)};
+  for (int i = 0; i < 10; ++i) {
+    Decision d = pdp.EvaluateAndConsume(p, req);
+    EXPECT_TRUE(d.allowed) << "access " << i;
+    EXPECT_EQ(d.rule_id, "photo-rule");
+    ASSERT_EQ(d.obligations.size(), 2u);
+  }
+  // Eleventh access: mutability quota exhausted.
+  Decision d = pdp.EvaluateAndConsume(p, req);
+  EXPECT_FALSE(d.allowed);
+  EXPECT_NE(d.reason.find("quota"), std::string::npos);
+  EXPECT_EQ(pdp.UseCount("photo-policy", "photo-rule", "bob"), 10u);
+}
+
+TEST(UconTest, ConditionTimeWindowEnforced) {
+  Policy p = Footnote6Policy();
+  DecisionPoint pdp;
+  // 2013: outside the validity window.
+  AccessRequest req{"bob", Right::kRead, {}, MakeTimestamp(2013, 1, 1)};
+  EXPECT_FALSE(pdp.EvaluateAndConsume(p, req).allowed);
+  // 2011: before the window.
+  req.now = MakeTimestamp(2011, 12, 31);
+  EXPECT_FALSE(pdp.EvaluateAndConsume(p, req).allowed);
+  // Denied attempts must not consume quota.
+  EXPECT_EQ(pdp.UseCount("photo-policy", "photo-rule", "bob"), 0u);
+}
+
+TEST(UconTest, SubjectAndRightFiltering) {
+  Policy p = Footnote6Policy();
+  DecisionPoint pdp;
+  AccessRequest wrong_subject{"carol", Right::kRead, {},
+                              MakeTimestamp(2012, 6, 1)};
+  EXPECT_FALSE(pdp.EvaluateAndConsume(p, wrong_subject).allowed);
+  AccessRequest wrong_right{"bob", Right::kShare, {},
+                            MakeTimestamp(2012, 6, 1)};
+  EXPECT_FALSE(pdp.EvaluateAndConsume(p, wrong_right).allowed);
+}
+
+TEST(UconTest, AttributeConditions) {
+  UsageRule rule;
+  rule.id = "adults-from-home";
+  rule.rights = {Right::kRead};
+  rule.conditions = {
+      AttributeCondition{"age", ConditionOp::kGe, PolicyValue(int64_t{18})},
+      AttributeCondition{"location", ConditionOp::kEq,
+                         PolicyValue(std::string("home"))}};
+  Policy p{"attr-policy", "alice", {rule}};
+  DecisionPoint pdp;
+
+  Attributes ok_attrs{{"age", PolicyValue(int64_t{30})},
+                      {"location", PolicyValue(std::string("home"))}};
+  EXPECT_TRUE(pdp.EvaluateAndConsume(p, {"any", Right::kRead, ok_attrs, 0})
+                  .allowed);
+
+  Attributes minor{{"age", PolicyValue(int64_t{12})},
+                   {"location", PolicyValue(std::string("home"))}};
+  EXPECT_FALSE(
+      pdp.EvaluateAndConsume(p, {"any", Right::kRead, minor, 0}).allowed);
+
+  Attributes away{{"age", PolicyValue(int64_t{30})},
+                  {"location", PolicyValue(std::string("cafe"))}};
+  EXPECT_FALSE(
+      pdp.EvaluateAndConsume(p, {"any", Right::kRead, away, 0}).allowed);
+
+  // Missing attribute -> deny.
+  EXPECT_FALSE(pdp.EvaluateAndConsume(p, {"any", Right::kRead, {}, 0}).allowed);
+}
+
+TEST(UconTest, FirstMatchingRuleWins) {
+  UsageRule narrow;
+  narrow.id = "bob-limited";
+  narrow.subjects = {"bob"};
+  narrow.rights = {Right::kRead};
+  narrow.max_uses = 1;
+  UsageRule broad;
+  broad.id = "anyone";
+  broad.rights = {Right::kRead};
+  Policy p{"pol", "alice", {narrow, broad}};
+  DecisionPoint pdp;
+  AccessRequest req{"bob", Right::kRead, {}, 0};
+  EXPECT_EQ(pdp.EvaluateAndConsume(p, req).rule_id, "bob-limited");
+  // Quota used up -> falls through to the broad rule.
+  EXPECT_EQ(pdp.EvaluateAndConsume(p, req).rule_id, "anyone");
+}
+
+TEST(UconTest, PeekDoesNotConsume) {
+  Policy p = Footnote6Policy();
+  DecisionPoint pdp;
+  AccessRequest req{"bob", Right::kRead, {}, MakeTimestamp(2012, 3, 1)};
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(pdp.Peek(p, req).allowed);
+  EXPECT_EQ(pdp.UseCount("photo-policy", "photo-rule", "bob"), 0u);
+}
+
+TEST(UconTest, StateExportImportRoundTrip) {
+  Policy p = Footnote6Policy();
+  DecisionPoint pdp;
+  AccessRequest req{"bob", Right::kRead, {}, MakeTimestamp(2012, 3, 1)};
+  for (int i = 0; i < 7; ++i) (void)pdp.EvaluateAndConsume(p, req);
+
+  DecisionPoint restored;
+  ASSERT_TRUE(restored.ImportState(pdp.ExportState()).ok());
+  EXPECT_EQ(restored.UseCount("photo-policy", "photo-rule", "bob"), 7u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(restored.EvaluateAndConsume(p, req).allowed);
+  }
+  EXPECT_FALSE(restored.EvaluateAndConsume(p, req).allowed);
+}
+
+TEST(UconTest, PolicySerializationRoundTrip) {
+  Policy p = Footnote6Policy();
+  auto back = Policy::Deserialize(p.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->id, p.id);
+  EXPECT_EQ(back->owner, p.owner);
+  ASSERT_EQ(back->rules.size(), 1u);
+  EXPECT_EQ(back->rules[0].max_uses, 10u);
+  EXPECT_EQ(back->rules[0].obligations.size(), 2u);
+  EXPECT_EQ(back->Hash(), p.Hash());
+}
+
+TEST(StickyPolicyTest, BindVerifyRoundTrip) {
+  Policy p = Footnote6Policy();
+  Bytes key(32, 0x42);
+  Bytes envelope = StickyPolicy::Bind(p, "doc-1", key);
+  auto back = StickyPolicy::VerifyAndExtract(envelope, "doc-1", key);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->id, p.id);
+  EXPECT_EQ(*StickyPolicy::PeekPolicyHash(envelope), p.Hash());
+}
+
+TEST(StickyPolicyTest, SwappedPolicyDetected) {
+  Policy strict = Footnote6Policy();
+  Policy lax = strict;
+  lax.rules[0].max_uses = 0;  // Unlimited.
+  Bytes key(32, 0x42);
+  Bytes strict_env = StickyPolicy::Bind(strict, "doc-1", key);
+  Bytes lax_env = StickyPolicy::Bind(lax, "doc-1", key);
+
+  // An adversary without the key cannot re-MAC a lax policy.
+  Bytes forged_key(32, 0x13);
+  Bytes forged = StickyPolicy::Bind(lax, "doc-1", forged_key);
+  EXPECT_TRUE(StickyPolicy::VerifyAndExtract(forged, "doc-1", key)
+                  .status()
+                  .IsIntegrityViolation());
+  // Envelope bound to a different object id fails too.
+  EXPECT_TRUE(StickyPolicy::VerifyAndExtract(strict_env, "doc-2", key)
+                  .status()
+                  .IsIntegrityViolation());
+  // The legitimate lax envelope (made by the key holder) verifies.
+  EXPECT_TRUE(StickyPolicy::VerifyAndExtract(lax_env, "doc-1", key).ok());
+}
+
+TEST(StickyPolicyTest, BitFlipDetected) {
+  Policy p = Footnote6Policy();
+  Bytes key(32, 0x42);
+  Bytes envelope = StickyPolicy::Bind(p, "doc-1", key);
+  for (size_t pos : {size_t{20}, envelope.size() / 2, envelope.size() - 1}) {
+    Bytes tampered = envelope;
+    tampered[pos] ^= 1;
+    EXPECT_FALSE(StickyPolicy::VerifyAndExtract(tampered, "doc-1", key).ok());
+  }
+}
+
+TEST(AuditLogTest, AppendExportVerify) {
+  tee::TrustedExecutionEnvironment tee("audit-cell",
+                                       tee::DeviceClass::kSmartPhone);
+  ASSERT_TRUE(tee.keystore().GenerateKey("audit").ok());
+  AuditLog log(&tee, "audit");
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(log.Append(AuditEntry{0, 1000 + i, "bob", "read",
+                                      "doc-" + std::to_string(i), i % 2 == 0,
+                                      "rule-x"})
+                    .ok());
+  }
+  auto entries = AuditLog::VerifyAndDecrypt(log.Export(), &tee, "audit", 5);
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 5u);
+  EXPECT_EQ((*entries)[3].object, "doc-3");
+  EXPECT_EQ((*entries)[3].index, 3u);
+  EXPECT_FALSE((*entries)[3].allowed);
+}
+
+TEST(AuditLogTest, TamperedEntryDetected) {
+  tee::TrustedExecutionEnvironment tee("audit-cell2",
+                                       tee::DeviceClass::kSmartPhone);
+  ASSERT_TRUE(tee.keystore().GenerateKey("audit").ok());
+  AuditLog log(&tee, "audit");
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        log.Append(AuditEntry{0, 0, "s", "read", "o", true, ""}).ok());
+  }
+  Bytes exported = log.Export();
+  exported[exported.size() / 2] ^= 1;
+  EXPECT_FALSE(
+      AuditLog::VerifyAndDecrypt(exported, &tee, "audit", 3).ok());
+}
+
+TEST(AuditLogTest, TruncationDetected) {
+  tee::TrustedExecutionEnvironment tee("audit-cell3",
+                                       tee::DeviceClass::kSmartPhone);
+  ASSERT_TRUE(tee.keystore().GenerateKey("audit").ok());
+  AuditLog log(&tee, "audit");
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        log.Append(AuditEntry{0, 0, "s", "read", "o", true, ""}).ok());
+  }
+  // A provider that drops the last (incriminating) entry is caught by the
+  // expected count.
+  AuditLog shorter(&tee, "audit");
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        shorter.Append(AuditEntry{0, 0, "s", "read", "o", true, ""}).ok());
+  }
+  EXPECT_TRUE(AuditLog::VerifyAndDecrypt(shorter.Export(), &tee, "audit", 4)
+                  .status()
+                  .IsIntegrityViolation());
+}
+
+TEST(AuditLogTest, ReorderingDetected) {
+  tee::TrustedExecutionEnvironment tee("audit-cell4",
+                                       tee::DeviceClass::kSmartPhone);
+  ASSERT_TRUE(tee.keystore().GenerateKey("audit").ok());
+  AuditLog log(&tee, "audit");
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        log.Append(AuditEntry{0, 0, "s", "a" + std::to_string(i), "o", true,
+                              ""})
+            .ok());
+  }
+  // Swap the first two sealed entries in the export.
+  Bytes exported = log.Export();
+  BinaryReader r(exported);
+  (void)*r.GetString();
+  (void)*r.GetVarint();
+  Bytes e0 = *r.GetBytes();
+  Bytes e1 = *r.GetBytes();
+  Bytes e2 = *r.GetBytes();
+  BinaryWriter w;
+  w.PutString("tc.audit.export.v1");
+  w.PutVarint(3);
+  w.PutBytes(e1);
+  w.PutBytes(e0);
+  w.PutBytes(e2);
+  EXPECT_FALSE(AuditLog::VerifyAndDecrypt(w.Take(), &tee, "audit", 3).ok());
+}
+
+}  // namespace
+}  // namespace tc::policy

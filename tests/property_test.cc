@@ -1,0 +1,368 @@
+// Property-style parameterized sweeps (TEST_P) over the invariants the
+// platform's security and durability arguments rest on.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "tc/common/codec.h"
+#include "tc/common/rng.h"
+#include "tc/compute/kanon.h"
+#include "tc/compute/secure_aggregation.h"
+#include "tc/crypto/aead.h"
+#include "tc/crypto/bignum.h"
+#include "tc/crypto/merkle.h"
+#include "tc/crypto/shamir.h"
+#include "tc/db/timeseries.h"
+#include "tc/policy/ucon.h"
+#include "tc/storage/flash_device.h"
+#include "tc/storage/log_store.h"
+#include "tc/storage/page_transform.h"
+
+namespace tc {
+namespace {
+
+// ---------------------------------------------------------------- codec
+
+class CodecRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CodecRoundTrip, RandomSequencesSurvive) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    // Generate a random schema of puts, then read it back.
+    std::vector<int> kinds;
+    BinaryWriter w;
+    std::vector<uint64_t> ints;
+    std::vector<std::string> strings;
+    int n = static_cast<int>(rng.NextInt(1, 30));
+    for (int i = 0; i < n; ++i) {
+      int kind = static_cast<int>(rng.NextBelow(3));
+      kinds.push_back(kind);
+      switch (kind) {
+        case 0: {
+          uint64_t v = rng.NextU64();
+          ints.push_back(v);
+          w.PutVarint(v);
+          break;
+        }
+        case 1: {
+          uint64_t v = rng.NextU64();
+          ints.push_back(v);
+          w.PutU64(v);
+          break;
+        }
+        default: {
+          std::string s = ToString(rng.NextBytes(rng.NextBelow(60)));
+          strings.push_back(s);
+          w.PutString(s);
+          break;
+        }
+      }
+    }
+    BinaryReader r(w.buffer());
+    size_t int_idx = 0, str_idx = 0;
+    for (int kind : kinds) {
+      switch (kind) {
+        case 0:
+          ASSERT_EQ(*r.GetVarint(), ints[int_idx++]);
+          break;
+        case 1:
+          ASSERT_EQ(*r.GetU64(), ints[int_idx++]);
+          break;
+        default:
+          ASSERT_EQ(*r.GetString(), strings[str_idx++]);
+          break;
+      }
+    }
+    ASSERT_TRUE(r.AtEnd());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// --------------------------------------------------------------- bignum
+
+class BigIntAlgebra : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BigIntAlgebra, DivModMulIdentities) {
+  using crypto::BigInt;
+  size_t bits = GetParam();
+  Rng rng(bits);
+  for (int i = 0; i < 40; ++i) {
+    BigInt a = BigInt::FromBytesBE(rng.NextBytes((bits + 7) / 8));
+    BigInt b = BigInt::FromBytesBE(rng.NextBytes((bits + 15) / 16));
+    if (b.IsZero()) continue;
+    BigInt rem;
+    BigInt q = BigInt::DivMod(a, b, &rem);
+    // a = q*b + r with r < b.
+    ASSERT_EQ(BigInt::Add(BigInt::Mul(q, b), rem), a);
+    ASSERT_LT(rem, b);
+    // (a + b) - b == a; (a * b) / b == a when exact.
+    ASSERT_EQ(BigInt::Sub(BigInt::Add(a, b), b), a);
+    BigInt prod = BigInt::Mul(a, b);
+    BigInt r2;
+    ASSERT_EQ(BigInt::DivMod(prod, b, &r2), a);
+    ASSERT_TRUE(r2.IsZero());
+  }
+}
+
+TEST_P(BigIntAlgebra, ModExpHomomorphism) {
+  using crypto::BigInt;
+  size_t bits = GetParam();
+  crypto::SecureRandom rng(ToBytes("modexp-" + std::to_string(bits)));
+  BigInt m = BigInt::GeneratePrime(rng, bits);
+  for (int i = 0; i < 5; ++i) {
+    BigInt g = BigInt::RandomBelow(rng, m);
+    BigInt x = BigInt::RandomBits(rng, bits / 2);
+    BigInt y = BigInt::RandomBits(rng, bits / 2);
+    // g^x * g^y == g^(x+y) (mod m).
+    BigInt lhs = BigInt::ModMul(BigInt::ModExp(g, x, m),
+                                BigInt::ModExp(g, y, m), m);
+    BigInt rhs = BigInt::ModExp(g, BigInt::Add(x, y), m);
+    ASSERT_EQ(lhs, rhs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, BigIntAlgebra,
+                         ::testing::Values(64, 128, 256, 521));
+
+// ----------------------------------------------------------------- AEAD
+
+class AeadCorruption : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(AeadCorruption, EverySingleByteFlipIsRejected) {
+  Bytes key(32, 0x11), nonce(12, 0x22), aad = ToBytes("ctx");
+  Rng rng(GetParam());
+  Bytes pt = rng.NextBytes(GetParam());
+  Bytes sealed = *crypto::AeadSeal(key, nonce, aad, pt);
+  // Flip a sample of byte positions (all positions for small payloads).
+  size_t step = std::max<size_t>(1, sealed.size() / 64);
+  for (size_t pos = 0; pos < sealed.size(); pos += step) {
+    Bytes tampered = sealed;
+    tampered[pos] ^= 0x01;
+    ASSERT_FALSE(crypto::AeadOpen(key, nonce, aad, tampered).ok())
+        << "byte " << pos;
+  }
+  ASSERT_EQ(*crypto::AeadOpen(key, nonce, aad, sealed), pt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AeadCorruption,
+                         ::testing::Values(1, 16, 255, 2048));
+
+// --------------------------------------------------------------- Merkle
+
+class MerkleAllLeaves : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MerkleAllLeaves, ProofsVerifyAndCrossProofsFail) {
+  size_t n = GetParam();
+  std::vector<Bytes> leaves;
+  for (size_t i = 0; i < n; ++i) {
+    leaves.push_back(ToBytes("leaf-" + std::to_string(i * 7919)));
+  }
+  auto tree = *crypto::MerkleTree::Build(leaves);
+  for (size_t i = 0; i < n; ++i) {
+    auto proof = *tree.Prove(i);
+    ASSERT_TRUE(crypto::MerkleTree::Verify(tree.root(), leaves[i], proof));
+    // The same proof must not validate a different leaf.
+    ASSERT_FALSE(crypto::MerkleTree::Verify(tree.root(),
+                                            leaves[(i + 1) % n], proof));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LeafCounts, MerkleAllLeaves,
+                         ::testing::Values(2, 3, 15, 16, 17, 100));
+
+// --------------------------------------------------------------- Shamir
+
+class ShamirThresholds
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ShamirThresholds, EveryThresholdSubsetReconstructs) {
+  auto [threshold, count] = GetParam();
+  crypto::SecureRandom rng(
+      ToBytes("shamir-prop-" + std::to_string(threshold)));
+  Bytes key = rng.NextBytes(32);
+  auto shares = *crypto::ShamirSecretSharing::SplitKey(key, threshold, count,
+                                                       rng);
+  // Sliding windows of exactly `threshold` shares.
+  for (int start = 0; start + threshold <= count; ++start) {
+    std::vector<crypto::ShamirShare> subset(
+        shares.begin() + start, shares.begin() + start + threshold);
+    ASSERT_EQ(*crypto::ShamirSecretSharing::ReconstructKey(subset), key);
+  }
+  // All shares together also work.
+  ASSERT_EQ(*crypto::ShamirSecretSharing::ReconstructKey(shares), key);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, ShamirThresholds,
+                         ::testing::Values(std::pair{1, 3}, std::pair{2, 3},
+                                           std::pair{3, 5}, std::pair{5, 8},
+                                           std::pair{7, 7}));
+
+// --------------------------------------------- log store crash recovery
+
+class StoreRecovery : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StoreRecovery, FlushedStateSurvivesRandomWorkloads) {
+  storage::FlashGeometry geo;
+  geo.page_size = 512;
+  geo.pages_per_block = 8;
+  geo.block_count = 128;
+  storage::FlashDevice flash(geo);
+  storage::PlainPageTransform plain;
+  std::map<std::string, Bytes> reference;
+  Rng rng(GetParam());
+  {
+    auto store = *storage::LogStore::Open(&flash, &plain,
+                                          storage::LogStoreOptions{});
+    for (int op = 0; op < 600; ++op) {
+      std::string key = "k" + std::to_string(rng.NextBelow(40));
+      if (rng.NextBernoulli(0.75)) {
+        Bytes value = rng.NextBytes(1 + rng.NextBelow(80));
+        ASSERT_TRUE(store->Put(key, value).ok());
+        reference[key] = value;
+      } else {
+        (void)store->Delete(key);
+        reference.erase(key);
+      }
+    }
+    ASSERT_TRUE(store->Flush().ok());
+  }
+  // Power cycle.
+  auto store = *storage::LogStore::Open(&flash, &plain,
+                                        storage::LogStoreOptions{});
+  std::map<std::string, Bytes> recovered;
+  ASSERT_TRUE(store
+                  ->ScanAll([&](const std::string& k, const Bytes& v) {
+                    recovered[k] = v;
+                  })
+                  .ok());
+  ASSERT_EQ(recovered, reference);
+  for (const auto& [key, value] : reference) {
+    ASSERT_EQ(*store->Get(key), value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreRecovery,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// ------------------------------------------------------ ts chunk codec
+
+class TimeSeriesCodec : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TimeSeriesCodec, ChunkRoundTripArbitraryDeltas) {
+  Rng rng(GetParam());
+  std::vector<db::Reading> readings;
+  Timestamp t = static_cast<Timestamp>(rng.NextBelow(1000000));
+  int64_t v = rng.NextInt(-5000, 5000);
+  int n = static_cast<int>(rng.NextInt(1, 800));
+  for (int i = 0; i < n; ++i) {
+    t += rng.NextInt(0, 900);        // Irregular sampling, repeats allowed.
+    v += rng.NextInt(-4000, 4000);   // Signed jumps.
+    readings.push_back(db::Reading{t, v});
+  }
+  Bytes encoded = db::TimeSeriesStore::EncodeChunk(readings);
+  auto decoded = db::TimeSeriesStore::DecodeChunk(encoded);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(*decoded, readings);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimeSeriesCodec,
+                         ::testing::Values(7, 8, 9, 10));
+
+// ------------------------------------------------------------- masking
+
+class MaskingDropout : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaskingDropout, RepairedSumMatchesContributorSubset) {
+  // White-box exactness check: run the protocol, then verify the sum via
+  // a shadow run with the same dropout RNG sequence.
+  const int n = 30;
+  double dropout = GetParam() / 100.0;
+  std::vector<int64_t> values(n);
+  Rng vals(99);
+  for (auto& v : values) v = vals.NextInt(0, 1000);
+  auto channels =
+      compute::SecureAggregation::PairwiseChannels::Setup(n, false, 3);
+
+  cloud::CloudInfrastructure cloud;
+  Rng protocol_rng(1234 + GetParam());
+  auto outcome = compute::SecureAggregation::RunAdditiveMasking(
+      cloud, values, channels, 5, dropout, protocol_rng);
+  ASSERT_TRUE(outcome.ok());
+
+  Rng shadow_rng(1234 + GetParam());
+  int64_t expected = 0;
+  int alive = 0;
+  for (int i = 0; i < n; ++i) {
+    bool dropped = dropout > 0 && shadow_rng.NextBernoulli(dropout);
+    if (!dropped) {
+      expected += values[i];
+      ++alive;
+    }
+  }
+  ASSERT_EQ(outcome->contributors, alive);
+  ASSERT_EQ(outcome->sum, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(DropoutPct, MaskingDropout,
+                         ::testing::Values(0, 5, 15, 30, 50));
+
+// --------------------------------------------------------------- k-anon
+
+class KAnonProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(KAnonProperty, OutputAlwaysSatisfiesK) {
+  int k = GetParam();
+  Rng rng(k);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<compute::MicroRecord> records;
+    int n = k + static_cast<int>(rng.NextBelow(300));
+    for (int i = 0; i < n; ++i) {
+      records.push_back(compute::MicroRecord{
+          static_cast<int>(rng.NextInt(0, 99)),
+          std::to_string(10000 + rng.NextBelow(90000)),
+          "s" + std::to_string(rng.NextBelow(5))});
+    }
+    auto report = compute::KAnonymizer::Anonymize(records, k);
+    ASSERT_TRUE(report.ok());
+    ASSERT_TRUE(compute::KAnonymizer::IsKAnonymous(report->records, k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KAnonProperty, ::testing::Values(2, 3, 10, 40));
+
+// ------------------------------------------------------------------ UCON
+
+class UconQuota : public ::testing::TestWithParam<int> {};
+
+TEST_P(UconQuota, QuotaNeverExceededUnderRandomRequests) {
+  int max_uses = GetParam();
+  policy::UsageRule rule;
+  rule.id = "quota";
+  rule.rights = {policy::Right::kRead};
+  rule.max_uses = static_cast<uint64_t>(max_uses);
+  policy::Policy p{"p", "owner", {rule}};
+  policy::DecisionPoint pdp;
+  Rng rng(max_uses);
+  std::map<std::string, int> allowed_per_subject;
+  for (int i = 0; i < 300; ++i) {
+    std::string subject = "s" + std::to_string(rng.NextBelow(4));
+    policy::AccessRequest req{subject, policy::Right::kRead, {}, 0};
+    if (pdp.EvaluateAndConsume(p, req).allowed) {
+      ++allowed_per_subject[subject];
+    }
+  }
+  for (const auto& [subject, count] : allowed_per_subject) {
+    ASSERT_LE(count, max_uses);
+    ASSERT_EQ(pdp.UseCount("p", "quota", subject),
+              static_cast<uint64_t>(count));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Quotas, UconQuota, ::testing::Values(1, 3, 10, 75));
+
+}  // namespace
+}  // namespace tc

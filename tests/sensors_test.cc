@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tc/sensors/gps.h"
+#include "tc/sensors/household.h"
+#include "tc/sensors/power_meter.h"
+
+namespace tc::sensors {
+namespace {
+
+TEST(ApplianceTest, TracesHaveSignatureShape) {
+  Rng rng(1);
+  auto kettle = ActivationTrace(ApplianceType::kKettle, rng);
+  ASSERT_FALSE(kettle.empty());
+  EXPECT_GE(static_cast<int>(kettle.size()), 120);
+  EXPECT_LE(static_cast<int>(kettle.size()), 200);
+  for (int w : kettle) EXPECT_NEAR(w, 2000, 50);
+
+  auto ev = ActivationTrace(ApplianceType::kEvCharger, rng, 1.0);
+  EXPECT_GE(static_cast<int>(ev.size()), 4500);
+  EXPECT_LE(static_cast<int>(ev.size()), 14400);
+  EXPECT_NEAR(ev[ev.size() / 2], 3700, 100);
+  // Taper at the end.
+  EXPECT_LT(ev.back(), 200);
+}
+
+TEST(ApplianceTest, HeatPumpModulates) {
+  Rng rng(2);
+  auto cold = ActivationTrace(ApplianceType::kHeatPump, rng, 1.0);
+  auto mild = ActivationTrace(ApplianceType::kHeatPump, rng, 0.1);
+  double cold_mean = 0, mild_mean = 0;
+  for (int w : cold) cold_mean += w;
+  for (int w : mild) mild_mean += w;
+  cold_mean /= cold.size();
+  mild_mean /= mild.size();
+  // Fixed-speed compressor: cold weather mostly lengthens the cycle and
+  // adds a modest defrost overhead.
+  EXPECT_GT(cold_mean, mild_mean + 100);
+  EXPECT_GT(cold.size(), mild.size());
+}
+
+TEST(ApplianceTest, WashingMachineHasPhases) {
+  Rng rng(3);
+  auto wm = ActivationTrace(ApplianceType::kWashingMachine, rng);
+  // Heating phase near 2100 W at the start.
+  EXPECT_NEAR(wm[300], 2100, 80);
+  // Tumble phase much lower at 60% in.
+  EXPECT_LT(wm[wm.size() * 6 / 10], 500);
+}
+
+TEST(HouseholdTest, DayTraceIsDeterministicPerSeed) {
+  HouseholdSimulator::Config config;
+  config.seed = 99;
+  HouseholdSimulator sim(config);
+  DayTrace a = sim.SimulateDay(10);
+  DayTrace b = sim.SimulateDay(10);
+  EXPECT_EQ(a.watts, b.watts);
+  EXPECT_EQ(a.events.size(), b.events.size());
+  DayTrace c = sim.SimulateDay(11);
+  EXPECT_NE(a.watts, c.watts);
+}
+
+TEST(HouseholdTest, TraceHasPlausibleShape) {
+  HouseholdSimulator sim(HouseholdSimulator::Config{});
+  DayTrace day = sim.SimulateDay(30);
+  ASSERT_EQ(day.watts.size(), 86400u);
+  // Base load present at all times.
+  int min_w = *std::min_element(day.watts.begin(), day.watts.end());
+  EXPECT_GT(min_w, 30);
+  // Realistic daily energy for a 4-person all-electric household with EV.
+  EXPECT_GT(day.kwh, 5.0);
+  EXPECT_LT(day.kwh, 80.0);
+  EXPECT_FALSE(day.events.empty());
+}
+
+TEST(HouseholdTest, WinterUsesMoreHeatingThanSummer) {
+  HouseholdSimulator sim(HouseholdSimulator::Config{});
+  // Average over some days to smooth schedule randomness.
+  double winter = 0, summer = 0;
+  for (int d = 10; d < 20; ++d) winter += sim.SimulateDay(d).kwh;   // January.
+  for (int d = 190; d < 200; ++d) summer += sim.SimulateDay(d).kwh; // July.
+  EXPECT_GT(winter, summer);
+  EXPECT_LT(sim.OutsideTempC(15), sim.OutsideTempC(196));
+}
+
+TEST(HouseholdTest, DownsamplePreservesMeanEnergy) {
+  HouseholdSimulator sim(HouseholdSimulator::Config{});
+  DayTrace day = sim.SimulateDay(5);
+  auto down = day.Downsample(900);
+  EXPECT_EQ(down.size(), 96u);
+  double raw_mean = 0;
+  for (int w : day.watts) raw_mean += w;
+  raw_mean /= day.watts.size();
+  double down_mean = 0;
+  for (int w : down) down_mean += w;
+  down_mean /= down.size();
+  EXPECT_NEAR(down_mean, raw_mean, raw_mean * 0.01 + 1);
+}
+
+TEST(HouseholdTest, ButlerShiftsLoadOffPeakAndCutsBill) {
+  HouseholdSimulator::Config base;
+  base.seed = 7;
+  HouseholdSimulator::Config smart = base;
+  smart.smart_butler = true;
+  HouseholdSimulator naive_sim(base), smart_sim(smart);
+  Tariff tariff;
+  double naive_bill = 0, smart_bill = 0;
+  for (int d = 0; d < 30; ++d) {
+    naive_bill += HouseholdSimulator::DailyBillEur(naive_sim.SimulateDay(d),
+                                                   tariff);
+    smart_bill += HouseholdSimulator::DailyBillEur(smart_sim.SimulateDay(d),
+                                                   tariff);
+  }
+  EXPECT_LT(smart_bill, naive_bill);
+  // The paper claims ~30%; we only require a material saving here, the
+  // precise number is E3's output.
+  EXPECT_GT((naive_bill - smart_bill) / naive_bill, 0.10);
+}
+
+TEST(HouseholdTest, ConservationFactorReducesConsumption) {
+  HouseholdSimulator::Config base;
+  base.seed = 21;
+  HouseholdSimulator::Config eco = base;
+  eco.conservation_factor = 0.8;
+  HouseholdSimulator normal(base), frugal(eco);
+  double kwh_normal = 0, kwh_eco = 0;
+  for (int d = 0; d < 30; ++d) {
+    kwh_normal += normal.SimulateDay(d).kwh;
+    kwh_eco += frugal.SimulateDay(d).kwh;
+  }
+  EXPECT_LT(kwh_eco, kwh_normal);
+}
+
+TEST(PowerMeterTest, CertifiedAggregateVerifies) {
+  PowerMeter meter("linky-35000001");
+  CertifiedAggregate agg = meter.Certify(15521, 28.5);
+  EXPECT_TRUE(PowerMeter::Verify(agg, meter.public_key()));
+  // Forged kWh fails.
+  CertifiedAggregate forged = agg;
+  forged.kwh = 10.0;
+  EXPECT_FALSE(PowerMeter::Verify(forged, meter.public_key()));
+  // Another meter's key fails.
+  PowerMeter other("linky-35000002");
+  EXPECT_FALSE(PowerMeter::Verify(agg, other.public_key()));
+}
+
+TEST(PowerMeterTest, EmitDayStreamsEverySecond) {
+  HouseholdSimulator sim(HouseholdSimulator::Config{});
+  DayTrace day = sim.SimulateDay(3);
+  PowerMeter meter("linky-1");
+  int count = 0;
+  Timestamp first = -1, last = -1;
+  CertifiedAggregate agg =
+      meter.EmitDay(day, 1000000, [&](Timestamp t, int watts) {
+        if (first < 0) first = t;
+        last = t;
+        EXPECT_GE(watts, 0);
+        ++count;
+      });
+  EXPECT_EQ(count, 86400);
+  EXPECT_EQ(first, 1000000);
+  EXPECT_EQ(last, 1000000 + 86399);
+  EXPECT_DOUBLE_EQ(agg.kwh, day.kwh);
+  EXPECT_TRUE(PowerMeter::Verify(agg, meter.public_key()));
+}
+
+TEST(GpsTest, WeekdayHasCommuteTrips) {
+  GpsTracker tracker("car-1", GpsTracker::Config{});
+  auto trips = tracker.SimulateDay(/*day_index=*/1, /*day_start=*/0);  // Tue.
+  ASSERT_GE(trips.size(), 2u);
+  for (const Trip& trip : trips) {
+    EXPECT_GT(trip.km, 0.5);
+    EXPECT_GT(trip.points.size(), 10u);
+    EXPECT_GT(trip.cost_cents, 0);
+    // 1 Hz fixes.
+    EXPECT_EQ(trip.points.back().time - trip.points.front().time + 1,
+              static_cast<Timestamp>(trip.points.size()));
+  }
+}
+
+TEST(GpsTest, TariffZonesByDistanceFromCenter) {
+  EXPECT_EQ(GpsTracker::TariffCentsPerKm(48857000, 2350000), 12);  // Centre.
+  EXPECT_EQ(GpsTracker::TariffCentsPerKm(48900000, 2350000), 6);   // Ring.
+  EXPECT_EQ(GpsTracker::TariffCentsPerKm(49500000, 2350000), 2);   // Rural.
+}
+
+TEST(GpsTest, PaydSummaryVerifiesAndMatchesTrips) {
+  GpsTracker tracker("car-2", GpsTracker::Config{});
+  auto trips = tracker.SimulateDay(2, 0);
+  PaydSummary summary = tracker.Summarize(2, trips);
+  EXPECT_TRUE(GpsTracker::Verify(summary, tracker.public_key()));
+  double km = 0;
+  for (const Trip& t : trips) km += t.km;
+  EXPECT_DOUBLE_EQ(summary.total_km, km);
+  // Tampered distance (to lower the insurance bill) fails verification.
+  PaydSummary forged = summary;
+  forged.total_km *= 0.5;
+  EXPECT_FALSE(GpsTracker::Verify(forged, tracker.public_key()));
+}
+
+}  // namespace
+}  // namespace tc::sensors

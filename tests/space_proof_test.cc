@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "tc/cell/cell.h"
+
+namespace tc::cell {
+namespace {
+
+class SpaceProofTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clock_.Set(MakeTimestamp(2013, 5, 6));
+    alice_ = MakeCell("alice-cell", "alice");
+    bob_ = MakeCell("bob-cell", "bob");
+  }
+
+  std::unique_ptr<TrustedCell> MakeCell(const std::string& id,
+                                        const std::string& owner) {
+    TrustedCell::Config config;
+    config.cell_id = id;
+    config.owner = owner;
+    config.device_class = tee::DeviceClass::kSmartPhone;
+    auto cell = TrustedCell::Create(config, &cloud_, &directory_, &clock_);
+    TC_CHECK(cell.ok());
+    return std::move(*cell);
+  }
+
+  SimulatedClock clock_;
+  cloud::CloudInfrastructure cloud_;
+  CellDirectory directory_;
+  std::unique_ptr<TrustedCell> alice_;
+  std::unique_ptr<TrustedCell> bob_;
+};
+
+TEST_F(SpaceProofTest, ProofVerifiesForEveryOwnDocument) {
+  std::vector<std::string> ids;
+  for (int i = 0; i < 7; ++i) {
+    ids.push_back(*alice_->StoreDocument("doc " + std::to_string(i), "tag",
+                                         Bytes(64, static_cast<uint8_t>(i)),
+                                         MakeOwnerPolicy("alice")));
+  }
+  for (const std::string& id : ids) {
+    auto proof = alice_->ProveDocumentInSpace(id);
+    ASSERT_TRUE(proof.ok()) << id;
+    EXPECT_TRUE(TrustedCell::VerifySpaceProof(*proof, directory_)) << id;
+  }
+}
+
+TEST_F(SpaceProofTest, ForgedProofsRejected) {
+  auto d1 = *alice_->StoreDocument("a", "a", ToBytes("1"),
+                                   MakeOwnerPolicy("alice"));
+  auto d2 = *alice_->StoreDocument("b", "b", ToBytes("2"),
+                                   MakeOwnerPolicy("alice"));
+  auto proof = *alice_->ProveDocumentInSpace(d1);
+
+  // Claiming a different doc id with d1's proof fails.
+  auto renamed = proof;
+  renamed.doc_id = d2;
+  EXPECT_FALSE(TrustedCell::VerifySpaceProof(renamed, directory_));
+
+  // Claiming a different version fails.
+  auto reversioned = proof;
+  reversioned.version = 99;
+  EXPECT_FALSE(TrustedCell::VerifySpaceProof(reversioned, directory_));
+
+  // A tampered root breaks the signature.
+  auto bad_root = proof;
+  bad_root.root[0] ^= 1;
+  EXPECT_FALSE(TrustedCell::VerifySpaceProof(bad_root, directory_));
+
+  // Bob cannot pass off Alice's proof as his own space.
+  auto stolen = proof;
+  stolen.cell_id = "bob-cell";
+  EXPECT_FALSE(TrustedCell::VerifySpaceProof(stolen, directory_));
+
+  // Unknown cell id.
+  auto unknown = proof;
+  unknown.cell_id = "nobody";
+  EXPECT_FALSE(TrustedCell::VerifySpaceProof(unknown, directory_));
+}
+
+TEST_F(SpaceProofTest, SharedDocumentsAreNotProvable) {
+  auto doc = *alice_->StoreDocument("a", "a", ToBytes("1"),
+                                    MakeOwnerPolicy("alice"));
+  policy::UsageRule rule;
+  rule.id = "bob";
+  rule.subjects = {"bob"};
+  rule.rights = {policy::Right::kRead};
+  ASSERT_TRUE(alice_->ShareDocument(doc, "bob-cell",
+                                    policy::Policy{"p", "alice", {rule}})
+                  .ok());
+  ASSERT_EQ(*bob_->ProcessInbox(), 1);
+  // The doc is in Bob's metadata but not in *his* space.
+  EXPECT_TRUE(bob_->ProveDocumentInSpace(doc).status().IsNotFound());
+}
+
+TEST_F(SpaceProofTest, KeyRotationRevokesRecipients) {
+  Bytes content = ToBytes("quarterly report");
+  auto doc = *alice_->StoreDocument("report", "report", content,
+                                    MakeOwnerPolicy("alice"));
+  policy::UsageRule rule;
+  rule.id = "bob";
+  rule.subjects = {"bob"};
+  rule.rights = {policy::Right::kRead};
+  ASSERT_TRUE(alice_->ShareDocument(doc, "bob-cell",
+                                    policy::Policy{"p", "alice", {rule}})
+                  .ok());
+  ASSERT_EQ(*bob_->ProcessInbox(), 1);
+  EXPECT_EQ(*bob_->ReadSharedDocument(doc, "bob"), content);
+
+  // Alice rotates the key; Bob's wrapped key no longer opens the current
+  // payload.
+  ASSERT_TRUE(alice_->RotateDocumentKey(doc).ok());
+  EXPECT_FALSE(bob_->ReadSharedDocument(doc, "bob").ok());
+
+  // Alice still reads it, at the bumped version.
+  auto after = alice_->FetchDocument(doc);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, content);
+  EXPECT_EQ(alice_->GetDocumentMeta(doc)->version, 2u);
+
+  // Re-sharing after rotation works and uses the new key.
+  ASSERT_TRUE(alice_->ShareDocument(doc, "bob-cell",
+                                    policy::Policy{"p2", "alice", {rule}})
+                  .ok());
+  ASSERT_EQ(*bob_->ProcessInbox(), 1);
+  EXPECT_EQ(*bob_->ReadSharedDocument(doc, "bob"), content);
+}
+
+TEST_F(SpaceProofTest, RotatedKeysDeriveOnOtherOwnerCells) {
+  auto phone = MakeCell("alice-phone", "alice");
+  Bytes content = ToBytes("rotated twice");
+  auto doc = *alice_->StoreDocument("d", "k", content,
+                                    MakeOwnerPolicy("alice"));
+  ASSERT_TRUE(alice_->RotateDocumentKey(doc).ok());
+  ASSERT_TRUE(alice_->RotateDocumentKey(doc).ok());
+  ASSERT_TRUE(alice_->SyncPush().ok());
+  ASSERT_TRUE(phone->SyncPull().ok());
+  auto fetched = phone->FetchDocument(doc);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(*fetched, content);
+}
+
+TEST_F(SpaceProofTest, RotationDeniedForForeignDocuments) {
+  auto doc = *alice_->StoreDocument("d", "k", ToBytes("x"),
+                                    MakeOwnerPolicy("alice"));
+  policy::UsageRule rule;
+  rule.id = "bob";
+  rule.subjects = {"bob"};
+  rule.rights = {policy::Right::kRead};
+  ASSERT_TRUE(alice_->ShareDocument(doc, "bob-cell",
+                                    policy::Policy{"p", "alice", {rule}})
+                  .ok());
+  ASSERT_EQ(*bob_->ProcessInbox(), 1);
+  EXPECT_TRUE(bob_->RotateDocumentKey(doc).IsPermissionDenied());
+}
+
+}  // namespace
+}  // namespace tc::cell

@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "tc/storage/flash_device.h"
+#include "tc/storage/log_store.h"
+#include "tc/storage/page_transform.h"
+#include "tc/tee/tee.h"
+
+namespace tc::storage {
+namespace {
+
+FlashGeometry SmallGeometry() {
+  FlashGeometry geo;
+  geo.page_size = 512;
+  geo.pages_per_block = 8;
+  geo.block_count = 32;
+  return geo;
+}
+
+TEST(FlashDeviceTest, EraseProgramReadCycle) {
+  FlashDevice dev(SmallGeometry());
+  Bytes data(512, 0xab);
+  EXPECT_TRUE(dev.ProgramPage(3, data).ok());
+  EXPECT_EQ(*dev.ReadPage(3), data);
+  EXPECT_TRUE(dev.IsPageProgrammed(3));
+  EXPECT_FALSE(dev.IsPageProgrammed(4));
+}
+
+TEST(FlashDeviceTest, ErasedPageReadsAllOnes) {
+  FlashDevice dev(SmallGeometry());
+  EXPECT_EQ(*dev.ReadPage(0), Bytes(512, 0xff));
+}
+
+TEST(FlashDeviceTest, OverwriteForbiddenUntilErase) {
+  FlashDevice dev(SmallGeometry());
+  Bytes data(512, 1);
+  ASSERT_TRUE(dev.ProgramPage(0, data).ok());
+  EXPECT_EQ(dev.ProgramPage(0, data).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(dev.EraseBlock(0).ok());
+  EXPECT_TRUE(dev.ProgramPage(0, data).ok());
+  EXPECT_EQ(dev.BlockWear(0), 1u);
+}
+
+TEST(FlashDeviceTest, BoundsChecks) {
+  FlashDevice dev(SmallGeometry());
+  EXPECT_FALSE(dev.ReadPage(8 * 32).ok());
+  EXPECT_FALSE(dev.ProgramPage(8 * 32, Bytes(512)).ok());
+  EXPECT_FALSE(dev.EraseBlock(32).ok());
+  EXPECT_FALSE(dev.ProgramPage(0, Bytes(100)).ok());  // Wrong size.
+}
+
+TEST(FlashDeviceTest, StatsAccumulate) {
+  FlashDevice dev(SmallGeometry());
+  (void)dev.ProgramPage(0, Bytes(512, 0));
+  (void)dev.ReadPage(0);
+  (void)dev.EraseBlock(0);
+  EXPECT_EQ(dev.stats().page_programs, 1u);
+  EXPECT_EQ(dev.stats().page_reads, 1u);
+  EXPECT_EQ(dev.stats().block_erases, 1u);
+  EXPECT_GT(dev.stats().simulated_time_us, 0u);
+}
+
+class LogStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    device_ = std::make_unique<FlashDevice>(SmallGeometry());
+    auto store = LogStore::Open(device_.get(), &plain_, LogStoreOptions{});
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(*store);
+  }
+
+  void Reopen() {
+    store_.reset();
+    auto store = LogStore::Open(device_.get(), &plain_, LogStoreOptions{});
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(*store);
+  }
+
+  std::unique_ptr<FlashDevice> device_;
+  PlainPageTransform plain_;
+  std::unique_ptr<LogStore> store_;
+};
+
+TEST_F(LogStoreTest, PutGetRoundTrip) {
+  ASSERT_TRUE(store_->Put("alpha", ToBytes("1")).ok());
+  ASSERT_TRUE(store_->Put("beta", ToBytes("2")).ok());
+  EXPECT_EQ(*store_->Get("alpha"), ToBytes("1"));
+  EXPECT_EQ(*store_->Get("beta"), ToBytes("2"));
+  EXPECT_TRUE(store_->Get("gamma").status().IsNotFound());
+}
+
+TEST_F(LogStoreTest, OverwriteReturnsLatest) {
+  ASSERT_TRUE(store_->Put("k", ToBytes("v1")).ok());
+  ASSERT_TRUE(store_->Put("k", ToBytes("v2")).ok());
+  EXPECT_EQ(*store_->Get("k"), ToBytes("v2"));
+  ASSERT_TRUE(store_->Flush().ok());
+  ASSERT_TRUE(store_->Put("k", ToBytes("v3")).ok());
+  EXPECT_EQ(*store_->Get("k"), ToBytes("v3"));
+}
+
+TEST_F(LogStoreTest, DeleteHidesKey) {
+  ASSERT_TRUE(store_->Put("k", ToBytes("v")).ok());
+  ASSERT_TRUE(store_->Delete("k").ok());
+  EXPECT_TRUE(store_->Get("k").status().IsNotFound());
+}
+
+TEST_F(LogStoreTest, RecoveryRestoresState) {
+  ASSERT_TRUE(store_->Put("persist-1", ToBytes("a")).ok());
+  ASSERT_TRUE(store_->Put("persist-2", ToBytes("b")).ok());
+  ASSERT_TRUE(store_->Put("persist-1", ToBytes("a2")).ok());
+  ASSERT_TRUE(store_->Delete("persist-2").ok());
+  ASSERT_TRUE(store_->Flush().ok());
+  Reopen();
+  EXPECT_EQ(*store_->Get("persist-1"), ToBytes("a2"));
+  EXPECT_TRUE(store_->Get("persist-2").status().IsNotFound());
+  EXPECT_EQ(*store_->CountLive(), 1u);
+}
+
+TEST_F(LogStoreTest, UnflushedWritesAreLostOnReopenFlushedSurvive) {
+  ASSERT_TRUE(store_->Put("durable", ToBytes("yes")).ok());
+  ASSERT_TRUE(store_->Flush().ok());
+  ASSERT_TRUE(store_->Put("volatile", ToBytes("no")).ok());
+  Reopen();  // Simulated power loss without flush.
+  EXPECT_EQ(*store_->Get("durable"), ToBytes("yes"));
+  EXPECT_TRUE(store_->Get("volatile").status().IsNotFound());
+}
+
+TEST_F(LogStoreTest, ScanAllSeesLatestLiveVersions) {
+  ASSERT_TRUE(store_->Put("a", ToBytes("1")).ok());
+  ASSERT_TRUE(store_->Put("b", ToBytes("2")).ok());
+  ASSERT_TRUE(store_->Put("a", ToBytes("3")).ok());
+  ASSERT_TRUE(store_->Delete("b").ok());
+  ASSERT_TRUE(store_->Put("c", ToBytes("4")).ok());
+  std::map<std::string, std::string> seen;
+  ASSERT_TRUE(store_
+                  ->ScanAll([&](const std::string& k, const Bytes& v) {
+                    seen[k] = ToString(v);
+                  })
+                  .ok());
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen["a"], "3");
+  EXPECT_EQ(seen["c"], "4");
+}
+
+TEST_F(LogStoreTest, GcReclaimsSpaceUnderChurn) {
+  // Keep overwriting a small working set until well past device capacity;
+  // without GC this would exhaust the 32-block device.
+  Bytes value(100, 0x42);
+  for (int round = 0; round < 150; ++round) {
+    for (int k = 0; k < 20; ++k) {
+      ASSERT_TRUE(store_->Put("key-" + std::to_string(k), value).ok())
+          << "round " << round << " key " << k;
+    }
+  }
+  EXPECT_GT(store_->stats().gc_runs, 0u);
+  EXPECT_EQ(*store_->CountLive(), 20u);
+  for (int k = 0; k < 20; ++k) {
+    EXPECT_EQ(*store_->Get("key-" + std::to_string(k)), value);
+  }
+  EXPECT_GT(store_->WriteAmplification(), 1.0);
+}
+
+TEST_F(LogStoreTest, CompactReclaimsTombstones) {
+  for (int k = 0; k < 50; ++k) {
+    ASSERT_TRUE(store_->Put("k" + std::to_string(k), Bytes(50, 1)).ok());
+  }
+  for (int k = 0; k < 40; ++k) {
+    ASSERT_TRUE(store_->Delete("k" + std::to_string(k)).ok());
+  }
+  ASSERT_TRUE(store_->CompactAll().ok());
+  EXPECT_EQ(*store_->CountLive(), 10u);
+  Reopen();
+  EXPECT_EQ(*store_->CountLive(), 10u);
+  for (int k = 40; k < 50; ++k) {
+    EXPECT_TRUE(store_->Get("k" + std::to_string(k)).ok());
+  }
+  EXPECT_TRUE(store_->Get("k0").status().IsNotFound());
+}
+
+TEST_F(LogStoreTest, RecordTooLargeRejected) {
+  Bytes huge(1000, 1);  // Page payload is 512.
+  EXPECT_EQ(store_->Put("big", huge).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(LogStoreTest, EmptyKeyRejected) {
+  EXPECT_FALSE(store_->Put("", ToBytes("x")).ok());
+  EXPECT_FALSE(store_->Delete("").ok());
+}
+
+TEST(LogStoreRamBudgetTest, TinyBudgetFallsBackToScans) {
+  FlashDevice device(SmallGeometry());
+  PlainPageTransform plain;
+  LogStoreOptions options;
+  options.ram_budget_bytes = 700;  // Fits ~10 index entries.
+  auto store = LogStore::Open(&device, &plain, options);
+  ASSERT_TRUE(store.ok());
+  for (int k = 0; k < 50; ++k) {
+    ASSERT_TRUE(
+        (*store)->Put("key-" + std::to_string(k), ToBytes("v")).ok());
+  }
+  EXPECT_FALSE((*store)->index_complete());
+  EXPECT_GT((*store)->stats().index_insertions_dropped, 0u);
+  // Every key still readable (correctness survives the RAM cliff).
+  for (int k = 0; k < 50; ++k) {
+    EXPECT_EQ(*(*store)->Get("key-" + std::to_string(k)), ToBytes("v"))
+        << k;
+  }
+  EXPECT_GT((*store)->stats().full_scans, 0u);
+  EXPECT_EQ(*(*store)->CountLive(), 50u);
+}
+
+TEST(EncryptedStoreTest, FlashImageIsCiphertextAndTamperEvident) {
+  tee::TrustedExecutionEnvironment tee("store-owner",
+                                       tee::DeviceClass::kHomeGateway);
+  ASSERT_TRUE(tee.keystore().GenerateKey("storage-root").ok());
+  FlashDevice device(SmallGeometry());
+  EncryptedPageTransform transform(&tee, "storage-root");
+  auto store = LogStore::Open(&device, &transform, LogStoreOptions{});
+  ASSERT_TRUE(store.ok());
+
+  Bytes secret = ToBytes("1Hz power trace reveals the kettle");
+  ASSERT_TRUE((*store)->Put("reading", secret).ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+
+  // Raw flash never contains the plaintext.
+  bool plaintext_on_flash = false;
+  for (size_t page = 0; page < device.geometry().total_pages(); ++page) {
+    if (!device.IsPageProgrammed(page)) continue;
+    Bytes raw = *device.ReadPage(page);
+    std::string raw_str(raw.begin(), raw.end());
+    if (raw_str.find("kettle") != std::string::npos) plaintext_on_flash = true;
+  }
+  EXPECT_FALSE(plaintext_on_flash);
+  EXPECT_EQ(*(*store)->Get("reading"), secret);
+
+  // Recovery through the same TEE key works.
+  store->reset();
+  auto reopened = LogStore::Open(&device, &transform, LogStoreOptions{});
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(*(*reopened)->Get("reading"), secret);
+}
+
+TEST(EncryptedStoreTest, WrongKeyCannotOpen) {
+  tee::TrustedExecutionEnvironment owner("owner-dev",
+                                         tee::DeviceClass::kHomeGateway);
+  tee::TrustedExecutionEnvironment thief("thief-dev",
+                                         tee::DeviceClass::kHomeGateway);
+  ASSERT_TRUE(owner.keystore().GenerateKey("root").ok());
+  ASSERT_TRUE(thief.keystore().GenerateKey("root").ok());
+
+  FlashDevice device(SmallGeometry());
+  {
+    EncryptedPageTransform transform(&owner, "root");
+    auto store = LogStore::Open(&device, &transform, LogStoreOptions{});
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("k", ToBytes("v")).ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  // The thief steals the flash chip but has a different TEE key.
+  EncryptedPageTransform thief_transform(&thief, "root");
+  auto stolen = LogStore::Open(&device, &thief_transform, LogStoreOptions{});
+  EXPECT_FALSE(stolen.ok());
+}
+
+}  // namespace
+}  // namespace tc::storage
