@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_flash.dir/bench_e10_flash.cc.o"
+  "CMakeFiles/bench_e10_flash.dir/bench_e10_flash.cc.o.d"
+  "bench_e10_flash"
+  "bench_e10_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_energy_butler.dir/bench_e3_energy_butler.cc.o"
+  "CMakeFiles/bench_e3_energy_butler.dir/bench_e3_energy_butler.cc.o.d"
+  "bench_e3_energy_butler"
+  "bench_e3_energy_butler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_energy_butler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e3_energy_butler.
+# This may be replaced when dependencies are built.

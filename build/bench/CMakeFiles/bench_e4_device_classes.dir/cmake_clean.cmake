@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_device_classes.dir/bench_e4_device_classes.cc.o"
+  "CMakeFiles/bench_e4_device_classes.dir/bench_e4_device_classes.cc.o.d"
+  "bench_e4_device_classes"
+  "bench_e4_device_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_device_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

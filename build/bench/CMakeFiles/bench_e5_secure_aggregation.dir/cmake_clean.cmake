@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_secure_aggregation.dir/bench_e5_secure_aggregation.cc.o"
+  "CMakeFiles/bench_e5_secure_aggregation.dir/bench_e5_secure_aggregation.cc.o.d"
+  "bench_e5_secure_aggregation"
+  "bench_e5_secure_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_secure_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_policy_ucon.dir/bench_e7_policy_ucon.cc.o"
+  "CMakeFiles/bench_e7_policy_ucon.dir/bench_e7_policy_ucon.cc.o.d"
+  "bench_e7_policy_ucon"
+  "bench_e7_policy_ucon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_policy_ucon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_threats.dir/bench_e8_threats.cc.o"
+  "CMakeFiles/bench_e8_threats.dir/bench_e8_threats.cc.o.d"
+  "bench_e8_threats"
+  "bench_e8_threats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_threats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_crypto.dir/bench_e9_crypto.cc.o"
+  "CMakeFiles/bench_e9_crypto.dir/bench_e9_crypto.cc.o.d"
+  "bench_e9_crypto"
+  "bench_e9_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

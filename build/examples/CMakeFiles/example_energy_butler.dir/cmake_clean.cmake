@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_energy_butler.dir/energy_butler.cc.o"
+  "CMakeFiles/example_energy_butler.dir/energy_butler.cc.o.d"
+  "example_energy_butler"
+  "example_energy_butler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_energy_butler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

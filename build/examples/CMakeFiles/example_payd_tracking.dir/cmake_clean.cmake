@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_payd_tracking.dir/payd_tracking.cc.o"
+  "CMakeFiles/example_payd_tracking.dir/payd_tracking.cc.o.d"
+  "example_payd_tracking"
+  "example_payd_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_payd_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

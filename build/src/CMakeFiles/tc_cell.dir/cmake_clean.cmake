@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_cell.dir/tc/cell/cell.cc.o"
+  "CMakeFiles/tc_cell.dir/tc/cell/cell.cc.o.d"
+  "CMakeFiles/tc_cell.dir/tc/cell/directory.cc.o"
+  "CMakeFiles/tc_cell.dir/tc/cell/directory.cc.o.d"
+  "CMakeFiles/tc_cell.dir/tc/cell/vault_baseline.cc.o"
+  "CMakeFiles/tc_cell.dir/tc/cell/vault_baseline.cc.o.d"
+  "libtc_cell.a"
+  "libtc_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tc/cloud/blob_store.cc" "src/CMakeFiles/tc_cloud.dir/tc/cloud/blob_store.cc.o" "gcc" "src/CMakeFiles/tc_cloud.dir/tc/cloud/blob_store.cc.o.d"
+  "/root/repo/src/tc/cloud/infrastructure.cc" "src/CMakeFiles/tc_cloud.dir/tc/cloud/infrastructure.cc.o" "gcc" "src/CMakeFiles/tc_cloud.dir/tc/cloud/infrastructure.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_cloud.dir/tc/cloud/blob_store.cc.o"
+  "CMakeFiles/tc_cloud.dir/tc/cloud/blob_store.cc.o.d"
+  "CMakeFiles/tc_cloud.dir/tc/cloud/infrastructure.cc.o"
+  "CMakeFiles/tc_cloud.dir/tc/cloud/infrastructure.cc.o.d"
+  "libtc_cloud.a"
+  "libtc_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tc/common/bytes.cc" "src/CMakeFiles/tc_common.dir/tc/common/bytes.cc.o" "gcc" "src/CMakeFiles/tc_common.dir/tc/common/bytes.cc.o.d"
+  "/root/repo/src/tc/common/clock.cc" "src/CMakeFiles/tc_common.dir/tc/common/clock.cc.o" "gcc" "src/CMakeFiles/tc_common.dir/tc/common/clock.cc.o.d"
+  "/root/repo/src/tc/common/codec.cc" "src/CMakeFiles/tc_common.dir/tc/common/codec.cc.o" "gcc" "src/CMakeFiles/tc_common.dir/tc/common/codec.cc.o.d"
+  "/root/repo/src/tc/common/logging.cc" "src/CMakeFiles/tc_common.dir/tc/common/logging.cc.o" "gcc" "src/CMakeFiles/tc_common.dir/tc/common/logging.cc.o.d"
+  "/root/repo/src/tc/common/rng.cc" "src/CMakeFiles/tc_common.dir/tc/common/rng.cc.o" "gcc" "src/CMakeFiles/tc_common.dir/tc/common/rng.cc.o.d"
+  "/root/repo/src/tc/common/status.cc" "src/CMakeFiles/tc_common.dir/tc/common/status.cc.o" "gcc" "src/CMakeFiles/tc_common.dir/tc/common/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

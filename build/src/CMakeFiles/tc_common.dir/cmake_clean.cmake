@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_common.dir/tc/common/bytes.cc.o"
+  "CMakeFiles/tc_common.dir/tc/common/bytes.cc.o.d"
+  "CMakeFiles/tc_common.dir/tc/common/clock.cc.o"
+  "CMakeFiles/tc_common.dir/tc/common/clock.cc.o.d"
+  "CMakeFiles/tc_common.dir/tc/common/codec.cc.o"
+  "CMakeFiles/tc_common.dir/tc/common/codec.cc.o.d"
+  "CMakeFiles/tc_common.dir/tc/common/logging.cc.o"
+  "CMakeFiles/tc_common.dir/tc/common/logging.cc.o.d"
+  "CMakeFiles/tc_common.dir/tc/common/rng.cc.o"
+  "CMakeFiles/tc_common.dir/tc/common/rng.cc.o.d"
+  "CMakeFiles/tc_common.dir/tc/common/status.cc.o"
+  "CMakeFiles/tc_common.dir/tc/common/status.cc.o.d"
+  "libtc_common.a"
+  "libtc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

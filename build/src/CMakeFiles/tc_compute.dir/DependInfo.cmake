@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tc/compute/dp.cc" "src/CMakeFiles/tc_compute.dir/tc/compute/dp.cc.o" "gcc" "src/CMakeFiles/tc_compute.dir/tc/compute/dp.cc.o.d"
+  "/root/repo/src/tc/compute/kanon.cc" "src/CMakeFiles/tc_compute.dir/tc/compute/kanon.cc.o" "gcc" "src/CMakeFiles/tc_compute.dir/tc/compute/kanon.cc.o.d"
+  "/root/repo/src/tc/compute/secure_aggregation.cc" "src/CMakeFiles/tc_compute.dir/tc/compute/secure_aggregation.cc.o" "gcc" "src/CMakeFiles/tc_compute.dir/tc/compute/secure_aggregation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tc_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

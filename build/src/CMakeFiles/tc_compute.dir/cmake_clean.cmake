@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_compute.dir/tc/compute/dp.cc.o"
+  "CMakeFiles/tc_compute.dir/tc/compute/dp.cc.o.d"
+  "CMakeFiles/tc_compute.dir/tc/compute/kanon.cc.o"
+  "CMakeFiles/tc_compute.dir/tc/compute/kanon.cc.o.d"
+  "CMakeFiles/tc_compute.dir/tc/compute/secure_aggregation.cc.o"
+  "CMakeFiles/tc_compute.dir/tc/compute/secure_aggregation.cc.o.d"
+  "libtc_compute.a"
+  "libtc_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tc/crypto/aead.cc" "src/CMakeFiles/tc_crypto.dir/tc/crypto/aead.cc.o" "gcc" "src/CMakeFiles/tc_crypto.dir/tc/crypto/aead.cc.o.d"
+  "/root/repo/src/tc/crypto/aes.cc" "src/CMakeFiles/tc_crypto.dir/tc/crypto/aes.cc.o" "gcc" "src/CMakeFiles/tc_crypto.dir/tc/crypto/aes.cc.o.d"
+  "/root/repo/src/tc/crypto/aes_ctr.cc" "src/CMakeFiles/tc_crypto.dir/tc/crypto/aes_ctr.cc.o" "gcc" "src/CMakeFiles/tc_crypto.dir/tc/crypto/aes_ctr.cc.o.d"
+  "/root/repo/src/tc/crypto/bignum.cc" "src/CMakeFiles/tc_crypto.dir/tc/crypto/bignum.cc.o" "gcc" "src/CMakeFiles/tc_crypto.dir/tc/crypto/bignum.cc.o.d"
+  "/root/repo/src/tc/crypto/dh.cc" "src/CMakeFiles/tc_crypto.dir/tc/crypto/dh.cc.o" "gcc" "src/CMakeFiles/tc_crypto.dir/tc/crypto/dh.cc.o.d"
+  "/root/repo/src/tc/crypto/group.cc" "src/CMakeFiles/tc_crypto.dir/tc/crypto/group.cc.o" "gcc" "src/CMakeFiles/tc_crypto.dir/tc/crypto/group.cc.o.d"
+  "/root/repo/src/tc/crypto/hkdf.cc" "src/CMakeFiles/tc_crypto.dir/tc/crypto/hkdf.cc.o" "gcc" "src/CMakeFiles/tc_crypto.dir/tc/crypto/hkdf.cc.o.d"
+  "/root/repo/src/tc/crypto/hmac.cc" "src/CMakeFiles/tc_crypto.dir/tc/crypto/hmac.cc.o" "gcc" "src/CMakeFiles/tc_crypto.dir/tc/crypto/hmac.cc.o.d"
+  "/root/repo/src/tc/crypto/merkle.cc" "src/CMakeFiles/tc_crypto.dir/tc/crypto/merkle.cc.o" "gcc" "src/CMakeFiles/tc_crypto.dir/tc/crypto/merkle.cc.o.d"
+  "/root/repo/src/tc/crypto/paillier.cc" "src/CMakeFiles/tc_crypto.dir/tc/crypto/paillier.cc.o" "gcc" "src/CMakeFiles/tc_crypto.dir/tc/crypto/paillier.cc.o.d"
+  "/root/repo/src/tc/crypto/random.cc" "src/CMakeFiles/tc_crypto.dir/tc/crypto/random.cc.o" "gcc" "src/CMakeFiles/tc_crypto.dir/tc/crypto/random.cc.o.d"
+  "/root/repo/src/tc/crypto/schnorr.cc" "src/CMakeFiles/tc_crypto.dir/tc/crypto/schnorr.cc.o" "gcc" "src/CMakeFiles/tc_crypto.dir/tc/crypto/schnorr.cc.o.d"
+  "/root/repo/src/tc/crypto/sha256.cc" "src/CMakeFiles/tc_crypto.dir/tc/crypto/sha256.cc.o" "gcc" "src/CMakeFiles/tc_crypto.dir/tc/crypto/sha256.cc.o.d"
+  "/root/repo/src/tc/crypto/shamir.cc" "src/CMakeFiles/tc_crypto.dir/tc/crypto/shamir.cc.o" "gcc" "src/CMakeFiles/tc_crypto.dir/tc/crypto/shamir.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_crypto.dir/tc/crypto/aead.cc.o"
+  "CMakeFiles/tc_crypto.dir/tc/crypto/aead.cc.o.d"
+  "CMakeFiles/tc_crypto.dir/tc/crypto/aes.cc.o"
+  "CMakeFiles/tc_crypto.dir/tc/crypto/aes.cc.o.d"
+  "CMakeFiles/tc_crypto.dir/tc/crypto/aes_ctr.cc.o"
+  "CMakeFiles/tc_crypto.dir/tc/crypto/aes_ctr.cc.o.d"
+  "CMakeFiles/tc_crypto.dir/tc/crypto/bignum.cc.o"
+  "CMakeFiles/tc_crypto.dir/tc/crypto/bignum.cc.o.d"
+  "CMakeFiles/tc_crypto.dir/tc/crypto/dh.cc.o"
+  "CMakeFiles/tc_crypto.dir/tc/crypto/dh.cc.o.d"
+  "CMakeFiles/tc_crypto.dir/tc/crypto/group.cc.o"
+  "CMakeFiles/tc_crypto.dir/tc/crypto/group.cc.o.d"
+  "CMakeFiles/tc_crypto.dir/tc/crypto/hkdf.cc.o"
+  "CMakeFiles/tc_crypto.dir/tc/crypto/hkdf.cc.o.d"
+  "CMakeFiles/tc_crypto.dir/tc/crypto/hmac.cc.o"
+  "CMakeFiles/tc_crypto.dir/tc/crypto/hmac.cc.o.d"
+  "CMakeFiles/tc_crypto.dir/tc/crypto/merkle.cc.o"
+  "CMakeFiles/tc_crypto.dir/tc/crypto/merkle.cc.o.d"
+  "CMakeFiles/tc_crypto.dir/tc/crypto/paillier.cc.o"
+  "CMakeFiles/tc_crypto.dir/tc/crypto/paillier.cc.o.d"
+  "CMakeFiles/tc_crypto.dir/tc/crypto/random.cc.o"
+  "CMakeFiles/tc_crypto.dir/tc/crypto/random.cc.o.d"
+  "CMakeFiles/tc_crypto.dir/tc/crypto/schnorr.cc.o"
+  "CMakeFiles/tc_crypto.dir/tc/crypto/schnorr.cc.o.d"
+  "CMakeFiles/tc_crypto.dir/tc/crypto/sha256.cc.o"
+  "CMakeFiles/tc_crypto.dir/tc/crypto/sha256.cc.o.d"
+  "CMakeFiles/tc_crypto.dir/tc/crypto/shamir.cc.o"
+  "CMakeFiles/tc_crypto.dir/tc/crypto/shamir.cc.o.d"
+  "libtc_crypto.a"
+  "libtc_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tc/db/database.cc" "src/CMakeFiles/tc_db.dir/tc/db/database.cc.o" "gcc" "src/CMakeFiles/tc_db.dir/tc/db/database.cc.o.d"
+  "/root/repo/src/tc/db/keyword_index.cc" "src/CMakeFiles/tc_db.dir/tc/db/keyword_index.cc.o" "gcc" "src/CMakeFiles/tc_db.dir/tc/db/keyword_index.cc.o.d"
+  "/root/repo/src/tc/db/query.cc" "src/CMakeFiles/tc_db.dir/tc/db/query.cc.o" "gcc" "src/CMakeFiles/tc_db.dir/tc/db/query.cc.o.d"
+  "/root/repo/src/tc/db/schema.cc" "src/CMakeFiles/tc_db.dir/tc/db/schema.cc.o" "gcc" "src/CMakeFiles/tc_db.dir/tc/db/schema.cc.o.d"
+  "/root/repo/src/tc/db/table.cc" "src/CMakeFiles/tc_db.dir/tc/db/table.cc.o" "gcc" "src/CMakeFiles/tc_db.dir/tc/db/table.cc.o.d"
+  "/root/repo/src/tc/db/timeseries.cc" "src/CMakeFiles/tc_db.dir/tc/db/timeseries.cc.o" "gcc" "src/CMakeFiles/tc_db.dir/tc/db/timeseries.cc.o.d"
+  "/root/repo/src/tc/db/value.cc" "src/CMakeFiles/tc_db.dir/tc/db/value.cc.o" "gcc" "src/CMakeFiles/tc_db.dir/tc/db/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tc_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

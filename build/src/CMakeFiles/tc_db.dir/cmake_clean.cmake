@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_db.dir/tc/db/database.cc.o"
+  "CMakeFiles/tc_db.dir/tc/db/database.cc.o.d"
+  "CMakeFiles/tc_db.dir/tc/db/keyword_index.cc.o"
+  "CMakeFiles/tc_db.dir/tc/db/keyword_index.cc.o.d"
+  "CMakeFiles/tc_db.dir/tc/db/query.cc.o"
+  "CMakeFiles/tc_db.dir/tc/db/query.cc.o.d"
+  "CMakeFiles/tc_db.dir/tc/db/schema.cc.o"
+  "CMakeFiles/tc_db.dir/tc/db/schema.cc.o.d"
+  "CMakeFiles/tc_db.dir/tc/db/table.cc.o"
+  "CMakeFiles/tc_db.dir/tc/db/table.cc.o.d"
+  "CMakeFiles/tc_db.dir/tc/db/timeseries.cc.o"
+  "CMakeFiles/tc_db.dir/tc/db/timeseries.cc.o.d"
+  "CMakeFiles/tc_db.dir/tc/db/value.cc.o"
+  "CMakeFiles/tc_db.dir/tc/db/value.cc.o.d"
+  "libtc_db.a"
+  "libtc_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

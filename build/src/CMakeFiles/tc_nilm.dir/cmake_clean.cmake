@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_nilm.dir/tc/nilm/activity_inference.cc.o"
+  "CMakeFiles/tc_nilm.dir/tc/nilm/activity_inference.cc.o.d"
+  "CMakeFiles/tc_nilm.dir/tc/nilm/disaggregator.cc.o"
+  "CMakeFiles/tc_nilm.dir/tc/nilm/disaggregator.cc.o.d"
+  "libtc_nilm.a"
+  "libtc_nilm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_nilm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_policy.dir/tc/policy/audit.cc.o"
+  "CMakeFiles/tc_policy.dir/tc/policy/audit.cc.o.d"
+  "CMakeFiles/tc_policy.dir/tc/policy/sticky_policy.cc.o"
+  "CMakeFiles/tc_policy.dir/tc/policy/sticky_policy.cc.o.d"
+  "CMakeFiles/tc_policy.dir/tc/policy/ucon.cc.o"
+  "CMakeFiles/tc_policy.dir/tc/policy/ucon.cc.o.d"
+  "libtc_policy.a"
+  "libtc_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

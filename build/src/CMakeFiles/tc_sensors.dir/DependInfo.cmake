@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tc/sensors/appliance.cc" "src/CMakeFiles/tc_sensors.dir/tc/sensors/appliance.cc.o" "gcc" "src/CMakeFiles/tc_sensors.dir/tc/sensors/appliance.cc.o.d"
+  "/root/repo/src/tc/sensors/gps.cc" "src/CMakeFiles/tc_sensors.dir/tc/sensors/gps.cc.o" "gcc" "src/CMakeFiles/tc_sensors.dir/tc/sensors/gps.cc.o.d"
+  "/root/repo/src/tc/sensors/household.cc" "src/CMakeFiles/tc_sensors.dir/tc/sensors/household.cc.o" "gcc" "src/CMakeFiles/tc_sensors.dir/tc/sensors/household.cc.o.d"
+  "/root/repo/src/tc/sensors/power_meter.cc" "src/CMakeFiles/tc_sensors.dir/tc/sensors/power_meter.cc.o" "gcc" "src/CMakeFiles/tc_sensors.dir/tc/sensors/power_meter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tc_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_sensors.dir/tc/sensors/appliance.cc.o"
+  "CMakeFiles/tc_sensors.dir/tc/sensors/appliance.cc.o.d"
+  "CMakeFiles/tc_sensors.dir/tc/sensors/gps.cc.o"
+  "CMakeFiles/tc_sensors.dir/tc/sensors/gps.cc.o.d"
+  "CMakeFiles/tc_sensors.dir/tc/sensors/household.cc.o"
+  "CMakeFiles/tc_sensors.dir/tc/sensors/household.cc.o.d"
+  "CMakeFiles/tc_sensors.dir/tc/sensors/power_meter.cc.o"
+  "CMakeFiles/tc_sensors.dir/tc/sensors/power_meter.cc.o.d"
+  "libtc_sensors.a"
+  "libtc_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

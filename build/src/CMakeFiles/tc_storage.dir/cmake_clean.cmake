@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_storage.dir/tc/storage/flash_device.cc.o"
+  "CMakeFiles/tc_storage.dir/tc/storage/flash_device.cc.o.d"
+  "CMakeFiles/tc_storage.dir/tc/storage/log_store.cc.o"
+  "CMakeFiles/tc_storage.dir/tc/storage/log_store.cc.o.d"
+  "CMakeFiles/tc_storage.dir/tc/storage/page_transform.cc.o"
+  "CMakeFiles/tc_storage.dir/tc/storage/page_transform.cc.o.d"
+  "libtc_storage.a"
+  "libtc_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

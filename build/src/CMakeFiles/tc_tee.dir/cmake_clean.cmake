@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_tee.dir/tc/tee/attestation.cc.o"
+  "CMakeFiles/tc_tee.dir/tc/tee/attestation.cc.o.d"
+  "CMakeFiles/tc_tee.dir/tc/tee/device_profile.cc.o"
+  "CMakeFiles/tc_tee.dir/tc/tee/device_profile.cc.o.d"
+  "CMakeFiles/tc_tee.dir/tc/tee/keystore.cc.o"
+  "CMakeFiles/tc_tee.dir/tc/tee/keystore.cc.o.d"
+  "CMakeFiles/tc_tee.dir/tc/tee/tee.cc.o"
+  "CMakeFiles/tc_tee.dir/tc/tee/tee.cc.o.d"
+  "libtc_tee.a"
+  "libtc_tee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_tee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

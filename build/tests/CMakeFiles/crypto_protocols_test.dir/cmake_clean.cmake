@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_protocols_test.dir/crypto_protocols_test.cc.o"
+  "CMakeFiles/crypto_protocols_test.dir/crypto_protocols_test.cc.o.d"
+  "crypto_protocols_test"
+  "crypto_protocols_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_protocols_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nilm_test.dir/nilm_test.cc.o"
+  "CMakeFiles/nilm_test.dir/nilm_test.cc.o.d"
+  "nilm_test"
+  "nilm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nilm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

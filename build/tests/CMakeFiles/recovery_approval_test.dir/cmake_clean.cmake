@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_approval_test.dir/recovery_approval_test.cc.o"
+  "CMakeFiles/recovery_approval_test.dir/recovery_approval_test.cc.o.d"
+  "recovery_approval_test"
+  "recovery_approval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_approval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/space_proof_test.dir/space_proof_test.cc.o"
+  "CMakeFiles/space_proof_test.dir/space_proof_test.cc.o.d"
+  "space_proof_test"
+  "space_proof_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/space_proof_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
