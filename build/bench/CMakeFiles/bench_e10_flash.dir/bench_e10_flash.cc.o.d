@@ -219,10 +219,11 @@ bench/CMakeFiles/bench_e10_flash.dir/bench_e10_flash.cc.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/tc/storage/page_transform.h /root/repo/src/tc/tee/tee.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/tc/crypto/dh.h \
  /root/repo/src/tc/crypto/group.h /usr/include/c++/12/cstddef \
  /root/repo/src/tc/crypto/bignum.h /root/repo/src/tc/crypto/random.h \

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_faults.dir/bench_e11_faults.cc.o"
+  "CMakeFiles/bench_e11_faults.dir/bench_e11_faults.cc.o.d"
+  "bench_e11_faults"
+  "bench_e11_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -221,8 +221,9 @@ bench/CMakeFiles/bench_e4_device_classes.dir/bench_e4_device_classes.cc.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/tc/common/bytes.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/tc/common/bytes.h \
  /root/repo/src/tc/storage/flash_device.h \
  /root/repo/src/tc/storage/page_transform.h /root/repo/src/tc/tee/tee.h \
  /root/repo/src/tc/crypto/dh.h /root/repo/src/tc/crypto/group.h \
@@ -230,8 +231,6 @@ bench/CMakeFiles/bench_e4_device_classes.dir/bench_e4_device_classes.cc.o: \
  /root/repo/src/tc/crypto/random.h /root/repo/src/tc/crypto/schnorr.h \
  /root/repo/src/tc/tee/attestation.h \
  /root/repo/src/tc/tee/device_profile.h /root/repo/src/tc/tee/keystore.h \
- /root/repo/src/tc/db/table.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/tc/db/schema.h \
+ /root/repo/src/tc/db/table.h /root/repo/src/tc/db/schema.h \
  /root/repo/src/tc/db/value.h /root/repo/src/tc/common/clock.h \
  /root/repo/src/tc/common/codec.h /root/repo/src/tc/db/timeseries.h

@@ -207,15 +207,16 @@ src/CMakeFiles/tc_storage.dir/tc/storage/log_store.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/tc/common/bytes.h /root/repo/src/tc/common/result.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/tc/common/bytes.h \
+ /root/repo/src/tc/common/result.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/tc/common/macros.h /root/repo/src/tc/common/status.h \
  /root/repo/src/tc/storage/flash_device.h \
  /root/repo/src/tc/storage/page_transform.h /root/repo/src/tc/tee/tee.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/tc/crypto/dh.h \
  /root/repo/src/tc/crypto/group.h /usr/include/c++/12/cstddef \
  /root/repo/src/tc/crypto/bignum.h /root/repo/src/tc/crypto/random.h \

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tc/testing/crash_point_runner.cc" "src/CMakeFiles/tc_testing.dir/tc/testing/crash_point_runner.cc.o" "gcc" "src/CMakeFiles/tc_testing.dir/tc/testing/crash_point_runner.cc.o.d"
+  "/root/repo/src/tc/testing/fault_injection.cc" "src/CMakeFiles/tc_testing.dir/tc/testing/fault_injection.cc.o" "gcc" "src/CMakeFiles/tc_testing.dir/tc/testing/fault_injection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tc_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_testing.dir/tc/testing/crash_point_runner.cc.o"
+  "CMakeFiles/tc_testing.dir/tc/testing/crash_point_runner.cc.o.d"
+  "CMakeFiles/tc_testing.dir/tc/testing/fault_injection.cc.o"
+  "CMakeFiles/tc_testing.dir/tc/testing/fault_injection.cc.o.d"
+  "libtc_testing.a"
+  "libtc_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

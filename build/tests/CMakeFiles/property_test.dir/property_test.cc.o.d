@@ -312,4 +312,6 @@ tests/CMakeFiles/property_test.dir/property_test.cc.o: \
  /root/repo/src/tc/crypto/dh.h /root/repo/src/tc/crypto/group.h \
  /root/repo/src/tc/crypto/schnorr.h /root/repo/src/tc/tee/attestation.h \
  /root/repo/src/tc/tee/device_profile.h /root/repo/src/tc/tee/keystore.h \
- /root/repo/src/tc/policy/ucon.h
+ /root/repo/src/tc/policy/ucon.h \
+ /root/repo/src/tc/testing/crash_point_runner.h \
+ /root/repo/src/tc/testing/fault_injection.h

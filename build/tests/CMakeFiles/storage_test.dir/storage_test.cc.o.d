@@ -301,4 +301,6 @@ tests/CMakeFiles/storage_test.dir/storage_test.cc.o: \
  /root/repo/src/tc/crypto/dh.h /root/repo/src/tc/crypto/group.h \
  /root/repo/src/tc/crypto/bignum.h /root/repo/src/tc/crypto/random.h \
  /root/repo/src/tc/crypto/schnorr.h /root/repo/src/tc/tee/attestation.h \
- /root/repo/src/tc/tee/device_profile.h /root/repo/src/tc/tee/keystore.h
+ /root/repo/src/tc/tee/device_profile.h /root/repo/src/tc/tee/keystore.h \
+ /root/repo/src/tc/testing/fault_injection.h \
+ /root/repo/src/tc/common/rng.h

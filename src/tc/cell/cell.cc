@@ -184,9 +184,20 @@ Status TrustedCell::Init() {
       tee_.get(), "storage-root");
   storage::LogStoreOptions store_options;
   store_options.ram_budget_bytes = profile.ram_budget_bytes;
+  // Survive a power loss mid-program (at most one torn page, plus the
+  // residue of an interrupted GC erase) without bricking the cell, while a
+  // wholesale undecodable image — wrong key, gross tampering — still
+  // refuses to open.
+  store_options.max_recovery_skips = geo.pages_per_block;
   TC_ASSIGN_OR_RETURN(store_,
                       storage::LogStore::Open(flash_.get(), transform_.get(),
                                               store_options));
+  if (store_->stats().recovery_pages_skipped > 0) {
+    RecordIncident(
+        IncidentType::kStorageDataLoss, "flash",
+        std::to_string(store_->stats().recovery_pages_skipped) +
+            " undecodable flash pages skipped during store recovery");
+  }
   TC_ASSIGN_OR_RETURN(db_, db::Database::Open(store_.get()));
   audit_ = std::make_unique<policy::AuditLog>(tee_.get(), "audit-key");
 

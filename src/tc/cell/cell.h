@@ -75,6 +75,7 @@ enum class IncidentType : uint8_t {
   kForgedGrant = 3,       ///< Share grant with a bad signature.
   kReplayedGrant = 4,     ///< Grant id seen twice.
   kPolicyTampered = 5,    ///< Sticky-policy binding failure.
+  kStorageDataLoss = 6,   ///< Undecodable flash pages skipped at recovery.
 };
 
 struct SecurityIncident {

@@ -34,6 +34,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Corruption";
     case StatusCode::kIOError:
       return "IOError";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

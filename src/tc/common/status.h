@@ -30,6 +30,7 @@ enum class StatusCode {
   kUnavailable = 12,
   kCorruption = 13,
   kIOError = 14,
+  kDataLoss = 15,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "NotFound").
@@ -99,6 +100,9 @@ class Status {
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const {
@@ -120,6 +124,7 @@ class Status {
   bool IsResourceExhausted() const {
     return code() == StatusCode::kResourceExhausted;
   }
+  bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

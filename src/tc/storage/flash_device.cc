@@ -7,19 +7,14 @@ FlashDevice::FlashDevice(const FlashGeometry& geometry)
       pages_(geometry.total_pages()),
       block_wear_(geometry.block_count, 0) {}
 
-Result<Bytes> FlashDevice::ReadPage(size_t page_no) {
+Status FlashDevice::CheckRead(size_t page_no) const {
   if (page_no >= pages_.size()) {
     return Status::OutOfRange("page number out of range");
   }
-  ++stats_.page_reads;
-  stats_.simulated_time_us += geometry_.read_page_us;
-  if (pages_[page_no].empty()) {
-    return Bytes(geometry_.page_size, 0xff);  // Erased NAND reads as 1s.
-  }
-  return pages_[page_no];
+  return Status::OK();
 }
 
-Status FlashDevice::ProgramPage(size_t page_no, const Bytes& data) {
+Status FlashDevice::CheckProgram(size_t page_no, const Bytes& data) const {
   if (page_no >= pages_.size()) {
     return Status::OutOfRange("page number out of range");
   }
@@ -30,19 +25,62 @@ Status FlashDevice::ProgramPage(size_t page_no, const Bytes& data) {
     return Status::FailedPrecondition(
         "NAND page already programmed; erase the block first");
   }
+  return Status::OK();
+}
+
+Status FlashDevice::CheckErase(size_t block_no) const {
+  if (block_no >= geometry_.block_count) {
+    return Status::OutOfRange("block number out of range");
+  }
+  return Status::OK();
+}
+
+void FlashDevice::ChargeRead() {
+  ++stats_.page_reads;
+  stats_.simulated_time_us += geometry_.read_page_us;
+}
+
+void FlashDevice::ChargeProgram() {
   ++stats_.page_programs;
   stats_.simulated_time_us += geometry_.program_page_us;
+}
+
+void FlashDevice::ChargeErase(size_t block_no) {
+  ++stats_.block_erases;
+  stats_.simulated_time_us += geometry_.erase_block_us;
+  ++block_wear_[block_no];
+}
+
+Bytes FlashDevice::RawPage(size_t page_no) const {
+  if (pages_[page_no].empty()) return Bytes(geometry_.page_size, 0xff);
+  return pages_[page_no];
+}
+
+void FlashDevice::RawSetPage(size_t page_no, Bytes data) {
+  pages_[page_no] = std::move(data);
+}
+
+void FlashDevice::RawClearPage(size_t page_no) { pages_[page_no].clear(); }
+
+Result<Bytes> FlashDevice::ReadPage(size_t page_no) {
+  TC_RETURN_IF_ERROR(CheckRead(page_no));
+  ChargeRead();
+  if (pages_[page_no].empty()) {
+    return Bytes(geometry_.page_size, 0xff);  // Erased NAND reads as 1s.
+  }
+  return pages_[page_no];
+}
+
+Status FlashDevice::ProgramPage(size_t page_no, const Bytes& data) {
+  TC_RETURN_IF_ERROR(CheckProgram(page_no, data));
+  ChargeProgram();
   pages_[page_no] = data;
   return Status::OK();
 }
 
 Status FlashDevice::EraseBlock(size_t block_no) {
-  if (block_no >= geometry_.block_count) {
-    return Status::OutOfRange("block number out of range");
-  }
-  ++stats_.block_erases;
-  stats_.simulated_time_us += geometry_.erase_block_us;
-  ++block_wear_[block_no];
+  TC_RETURN_IF_ERROR(CheckErase(block_no));
+  ChargeErase(block_no);
   size_t first = block_no * geometry_.pages_per_block;
   for (size_t i = 0; i < geometry_.pages_per_block; ++i) {
     pages_[first + i].clear();

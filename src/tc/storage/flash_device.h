@@ -24,7 +24,9 @@ struct FlashGeometry {
 };
 
 /// Cumulative operation counters (the basis of the E10 write-amplification
-/// and wear measurements).
+/// and wear measurements). Rejected operations (bad page number, wrong
+/// size, overwrite without erase) advance neither the counters nor the
+/// simulated time: the chip refuses them before doing any work.
 struct FlashStats {
   uint64_t page_reads = 0;
   uint64_t page_programs = 0;
@@ -37,23 +39,28 @@ struct FlashStats {
 /// granularity, per-block wear counting. The log-structured store above it
 /// must therefore write out of place and garbage collect — exactly the
 /// constraint the paper's low-end trusted cells face.
+///
+/// The three I/O operations are virtual so that tc::testing can interpose
+/// a fault-injection layer (torn writes, power loss, bit rot) without the
+/// store knowing.
 class FlashDevice {
  public:
   explicit FlashDevice(const FlashGeometry& geometry);
+  virtual ~FlashDevice() = default;
 
   const FlashGeometry& geometry() const { return geometry_; }
 
   /// Reads one full page. Fails on out-of-range page numbers. Reading an
   /// erased page returns all-0xFF bytes, as real NAND does.
-  Result<Bytes> ReadPage(size_t page_no);
+  virtual Result<Bytes> ReadPage(size_t page_no);
 
   /// Programs an erased page with exactly page_size bytes.
   /// Fails with kFailedPrecondition if the page was already programmed
   /// (NAND forbids overwrite) and kInvalidArgument on size mismatch.
-  Status ProgramPage(size_t page_no, const Bytes& data);
+  virtual Status ProgramPage(size_t page_no, const Bytes& data);
 
   /// Erases a whole block, returning its pages to the erased state.
-  Status EraseBlock(size_t block_no);
+  virtual Status EraseBlock(size_t block_no);
 
   bool IsPageProgrammed(size_t page_no) const;
 
@@ -62,6 +69,28 @@ class FlashDevice {
 
   /// Erase cycles a block has endured (wear levelling metric).
   uint64_t BlockWear(size_t block_no) const;
+
+ protected:
+  // Validation only — no counters or simulated time move for a rejected
+  // operation. Fault-injecting subclasses must run these checks *before*
+  // consuming a scheduled fault, or the crash-point numbering of a
+  // workload drifts with every invalid call.
+  Status CheckRead(size_t page_no) const;
+  Status CheckProgram(size_t page_no, const Bytes& data) const;
+  Status CheckErase(size_t block_no) const;
+
+  // Cost accounting, applied once an operation is accepted (a program
+  // interrupted by power loss still spent the time and the wear).
+  void ChargeRead();
+  void ChargeProgram();
+  void ChargeErase(size_t block_no);
+
+  // Raw state access for fault simulation: torn programs that persist only
+  // a prefix, interrupted erases, persistent bit corruption. No
+  // validation, no accounting, overwriting allowed.
+  Bytes RawPage(size_t page_no) const;  ///< Erased pages read all-0xFF.
+  void RawSetPage(size_t page_no, Bytes data);
+  void RawClearPage(size_t page_no);
 
  private:
   FlashGeometry geometry_;

@@ -10,7 +10,20 @@ namespace tc::storage {
 namespace {
 
 constexpr uint32_t kPageMagic = 0x54434c47;  // "TCLG".
-constexpr size_t kPageHeaderReserve = 9;     // magic(4) + count varint(<=5).
+constexpr size_t kPageHeaderReserve = 13;  // magic(4)+checksum(4)+count(<=5).
+
+// FNV-1a over the page body. The AEAD transform already authenticates
+// pages cryptographically; this catches torn writes on plaintext stores,
+// where a prefix cut inside the last record's value would otherwise parse
+// cleanly with erased-flash bytes spliced into the value.
+uint32_t PageChecksum(const uint8_t* data, size_t n) {
+  uint32_t h = 2166136261u;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 16777619u;
+  }
+  return h;
+}
 constexpr uint8_t kRecordPut = 1;
 constexpr uint8_t kRecordTombstone = 2;
 
@@ -101,6 +114,10 @@ Result<std::vector<LogStore::Record>> LogStore::ReadPageRecords(
   if (magic != kPageMagic) {
     return Status::Corruption("bad page magic");
   }
+  TC_ASSIGN_OR_RETURN(uint32_t stored_sum, r.GetU32());
+  if (stored_sum != PageChecksum(payload.data() + 8, payload.size() - 8)) {
+    return Status::Corruption("page checksum mismatch (torn write?)");
+  }
   TC_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
   std::vector<Record> records;
   records.reserve(count);
@@ -134,8 +151,24 @@ Status LogStore::Recover() {
       uint64_t page_no = block * geo.pages_per_block + i;
       if (!device_->IsPageProgrammed(page_no)) continue;
       block_used_[block] = true;
-      TC_ASSIGN_OR_RETURN(std::vector<Record> records,
-                          ReadPageRecords(page_no));
+      auto records_or = ReadPageRecords(page_no);
+      if (!records_or.ok()) {
+        // A power loss tears at most the page that was being programmed;
+        // tolerate up to the configured number of undecodable pages, but
+        // refuse wholesale undecodability (wrong key, gross tampering).
+        if (stats_.recovery_pages_skipped >= options_.max_recovery_skips) {
+          if (options_.max_recovery_skips == 0) return records_or.status();
+          return Status::DataLoss(
+              "recovery aborted: more than " +
+              std::to_string(options_.max_recovery_skips) +
+              " undecodable pages (page " + std::to_string(page_no) +
+              ": " + records_or.status().ToString() + ")");
+        }
+        ++stats_.recovery_pages_skipped;
+        torn_pages_.insert(page_no);
+        continue;
+      }
+      std::vector<Record> records = std::move(*records_or);
       block_records_[block] += records.size();
       for (Record& rec : records) {
         max_seq = std::max(max_seq, rec.seq);
@@ -145,6 +178,18 @@ Status LogStore::Recover() {
     }
   }
   next_seq_ = max_seq + 1;
+
+  // Blocks whose only programmed pages are torn hold nothing recoverable;
+  // reclaim them now so a crash cannot leak blocks.
+  if (!torn_pages_.empty()) {
+    for (size_t block = 0; block < geo.block_count; ++block) {
+      if (!block_used_[block] || block_records_[block] != 0) continue;
+      TC_RETURN_IF_ERROR(device_->EraseBlock(block));
+      ForgetTornPagesInBlock(block);
+      block_used_[block] = false;
+      block_dead_[block] = 0;
+    }
+  }
 
   if (index_complete_) {
     for (size_t block = 0; block < geo.block_count; ++block) {
@@ -200,20 +245,25 @@ Status LogStore::FlushBufferedPage() {
         active_block_ * device_->geometry().pages_per_block +
         next_page_in_block_;
 
+    BinaryWriter body;
+    body.PutVarint(buffer_records_.size());
+    for (const Record& rec : buffer_records_) {
+      body.PutRaw(SerializeRecord(rec));
+    }
+    Bytes body_bytes = body.Take();
+    TC_CHECK(body_bytes.size() + 8 <= payload_size_);
+    body_bytes.resize(payload_size_ - 8, 0);  // Checksum covers the padding.
     BinaryWriter w;
     w.PutU32(kPageMagic);
-    w.PutVarint(buffer_records_.size());
-    for (const Record& rec : buffer_records_) {
-      w.PutRaw(SerializeRecord(rec));
-    }
+    w.PutU32(PageChecksum(body_bytes.data(), body_bytes.size()));
+    w.PutRaw(body_bytes);
     Bytes payload = w.Take();
-    TC_CHECK(payload.size() <= payload_size_);
-    payload.resize(payload_size_, 0);
+    TC_CHECK(payload.size() == payload_size_);
 
     uint64_t incarnation = device_->BlockWear(active_block_);
     TC_ASSIGN_OR_RETURN(Bytes encoded,
                         transform_->Encode(page_no, incarnation, payload));
-    TC_RETURN_IF_ERROR(device_->ProgramPage(page_no, encoded));
+    TC_RETURN_IF_ERROR(ProgramPageChecked(page_no, encoded));
     ++next_page_in_block_;
     block_records_[active_block_] += buffer_records_.size();
 
@@ -231,6 +281,33 @@ Status LogStore::FlushBufferedPage() {
     buffer_bytes_ = 0;
   }
   return Status::OK();
+}
+
+Status LogStore::ProgramPageChecked(uint64_t page_no, const Bytes& encoded) {
+  Status programmed = device_->ProgramPage(page_no, encoded);
+  if (programmed.ok() && options_.paranoid_program_verify &&
+      !ReadPageRecords(page_no).ok()) {
+    programmed = Status::IOError("program verify failed on page " +
+                                 std::to_string(page_no));
+  }
+  if (!programmed.ok()) {
+    // The page may hold a torn or wrong image and NAND cannot reprogram
+    // it: abandon it permanently so a retry of the (still buffered)
+    // records lands on the next page.
+    ++next_page_in_block_;
+    ++stats_.pages_abandoned;
+    if (device_->IsPageProgrammed(page_no)) torn_pages_.insert(page_no);
+    return programmed;
+  }
+  return Status::OK();
+}
+
+void LogStore::ForgetTornPagesInBlock(size_t block) {
+  if (torn_pages_.empty()) return;
+  uint64_t first = block * device_->geometry().pages_per_block;
+  uint64_t last = first + device_->geometry().pages_per_block;
+  torn_pages_.erase(torn_pages_.lower_bound(first),
+                    torn_pages_.lower_bound(last));
 }
 
 Status LogStore::Append(Record record, bool count_as_user_write) {
@@ -306,6 +383,10 @@ Result<Bytes> LogStore::ScanForKey(const std::string& key) {
   Bytes value;
   for (size_t page = 0; page < geo.total_pages(); ++page) {
     if (!device_->IsPageProgrammed(page)) continue;
+    if (torn_pages_.count(page) != 0) {
+      ++stats_.scan_pages_skipped;
+      continue;
+    }
     TC_ASSIGN_OR_RETURN(std::vector<Record> records, ReadPageRecords(page));
     for (Record& rec : records) {
       if (rec.key == key && rec.seq >= best_seq) {
@@ -336,6 +417,10 @@ Status LogStore::ScanAll(
   std::map<std::string, Record> latest;
   for (size_t page = 0; page < geo.total_pages(); ++page) {
     if (!device_->IsPageProgrammed(page)) continue;
+    if (torn_pages_.count(page) != 0) {
+      ++stats_.scan_pages_skipped;
+      continue;
+    }
     TC_ASSIGN_OR_RETURN(std::vector<Record> records, ReadPageRecords(page));
     for (Record& rec : records) {
       auto it = latest.find(rec.key);
@@ -405,12 +490,22 @@ Status LogStore::RunGcLocked() {
     for (size_t i = 0; i < geo.pages_per_block; ++i) {
       uint64_t page_no = victim * geo.pages_per_block + i;
       if (!device_->IsPageProgrammed(page_no)) continue;
+      if (torn_pages_.count(page_no) != 0) {
+        ++stats_.scan_pages_skipped;
+        continue;
+      }
       TC_ASSIGN_OR_RETURN(std::vector<Record> records,
                           ReadPageRecords(page_no));
       for (Record& rec : records) {
         auto it = index_.find(rec.key);
-        if (it != index_.end() && it->second.seq > rec.seq) {
-          continue;  // Provably superseded: drop.
+        // Drop only when the superseding version is itself durable. An
+        // index entry still pointing at the RAM buffer is volatile: if the
+        // erase below succeeds but a crash hits before the buffer flushes,
+        // an acknowledged write would be destroyed with its replacement
+        // lost — the old record must survive until then.
+        if (it != index_.end() && it->second.seq > rec.seq &&
+            it->second.page_no != kBufferedPage) {
+          continue;  // Provably superseded by durable data: drop.
         }
         // Latest version (or unknown because the index is partial): keep.
         // Tombstones are kept too — recovery needs them to shadow older
@@ -430,6 +525,7 @@ Status LogStore::RunGcLocked() {
       TC_RETURN_IF_ERROR(FlushBufferedPage());
     }
     TC_RETURN_IF_ERROR(device_->EraseBlock(victim));
+    ForgetTornPagesInBlock(victim);
     block_used_[victim] = false;
     block_records_[victim] = 0;
     block_dead_[victim] = 0;
@@ -463,6 +559,7 @@ Status LogStore::CompactAll() {
   for (size_t block = 0; block < geo.block_count; ++block) {
     if (block_used_[block]) {
       TC_RETURN_IF_ERROR(device_->EraseBlock(block));
+      ForgetTornPagesInBlock(block);
       block_used_[block] = false;
       block_records_[block] = 0;
       block_dead_[block] = 0;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -25,6 +26,21 @@ struct LogStoreOptions {
 
   /// Run garbage collection when the free-block pool drops to this size.
   size_t gc_free_block_threshold = 2;
+
+  /// Crash robustness of Open: how many undecodable ("torn") pages
+  /// recovery may skip — counted in stats.recovery_pages_skipped — before
+  /// giving up with kDataLoss. 0 = strict: the first undecodable page
+  /// fails Open with the decode error itself. A power interruption can
+  /// tear at most the single page that was being programmed, so small
+  /// values suffice for crash tolerance while wholesale undecodability
+  /// (wrong transform key, gross tampering) still refuses to open.
+  size_t max_recovery_skips = 0;
+
+  /// Read back and decode every page immediately after programming it.
+  /// Turns silently failing flash (stuck-at-erased cells, lost programs)
+  /// into an immediate kIOError at write time, at the cost of one extra
+  /// page read per program.
+  bool paranoid_program_verify = false;
 };
 
 /// Store statistics surfaced to the experiment harnesses.
@@ -36,6 +52,9 @@ struct LogStoreStats {
   uint64_t full_scans = 0;           ///< Lookups served by log scan.
   uint64_t index_hits = 0;
   uint64_t index_insertions_dropped = 0;  ///< RAM budget exhaustions.
+  uint64_t recovery_pages_skipped = 0;  ///< Torn pages tolerated by Open.
+  uint64_t scan_pages_skipped = 0;   ///< Known-torn pages skipped by scans/GC.
+  uint64_t pages_abandoned = 0;      ///< Pages given up after program errors.
 };
 
 /// Log-structured record store over raw NAND flash.
@@ -132,6 +151,8 @@ class LogStore {
   Status Recover();
   Status Append(Record record, bool count_as_user_write);
   Status FlushBufferedPage();
+  Status ProgramPageChecked(uint64_t page_no, const Bytes& encoded);
+  void ForgetTornPagesInBlock(size_t block);
   Result<size_t> AllocateBlock(bool allow_gc);
   Status RunGc();
   Status RunGcLocked();
@@ -167,6 +188,13 @@ class LogStore {
   std::vector<uint32_t> block_records_;
   std::vector<uint32_t> block_dead_;
   bool in_gc_ = false;
+
+  // Pages known to hold no decodable records: torn tails found by a
+  // tolerant recovery, plus pages abandoned after a failed or unverified
+  // program. Scans and GC skip them (counted); erasing the block clears
+  // them. Pages that decoded fine at recovery and fail later are NOT here
+  // — that is tampering or bit rot and always surfaces as an error.
+  std::set<uint64_t> torn_pages_;
 
   LogStoreStats stats_;
 };

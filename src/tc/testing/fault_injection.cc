@@ -1,0 +1,105 @@
+#include "tc/testing/fault_injection.h"
+
+namespace tc::testing {
+
+FaultyFlashDevice::FaultyFlashDevice(const storage::FlashGeometry& geometry,
+                                     FaultPlan plan)
+    : storage::FlashDevice(geometry), plan_(std::move(plan)),
+      rng_(plan_.seed) {}
+
+void FaultyFlashDevice::SetPlan(FaultPlan plan) { plan_ = std::move(plan); }
+
+Status FaultyFlashDevice::ApplyWriteFault(size_t page_no,
+                                          const Bytes* program_data,
+                                          size_t block_no) {
+  bool power_loss = plan_.power_loss_after_write_ops != 0 &&
+                    write_ops_ == plan_.power_loss_after_write_ops;
+  bool transient = plan_.failing_write_ops.count(write_ops_) != 0;
+  if (!power_loss && !transient) return Status::OK();
+
+  if (program_data != nullptr) {
+    // The interrupted program still spent the time, and may have committed
+    // a prefix of the page before the voltage dropped.
+    ChargeProgram();
+    if (plan_.torn == TornWriteMode::kPrefix && program_data->size() > 1) {
+      size_t keep = 1 + rng_.NextBelow(program_data->size() - 1);
+      Bytes torn(program_data->begin(), program_data->begin() + keep);
+      torn.resize(program_data->size(), 0xff);
+      RawSetPage(page_no, std::move(torn));
+    }
+  } else {
+    // Interrupted erase: a prefix of the block's pages reverted to the
+    // erased state, the rest still hold their old content. The erase did
+    // not complete, so the wear/incarnation counter must NOT advance —
+    // surviving pages were written under the old incarnation and must
+    // still authenticate.
+    const storage::FlashGeometry& geo = geometry();
+    size_t cleared = rng_.NextBelow(geo.pages_per_block);
+    size_t first = block_no * geo.pages_per_block;
+    for (size_t i = 0; i < cleared; ++i) RawClearPage(first + i);
+  }
+  if (power_loss) {
+    powered_off_ = true;
+    return Status::IOError(program_data != nullptr
+                               ? "simulated power loss during page program"
+                               : "simulated power loss during block erase");
+  }
+  return Status::IOError(program_data != nullptr
+                             ? "simulated transient program failure"
+                             : "simulated transient erase failure");
+}
+
+Result<Bytes> FaultyFlashDevice::ReadPage(size_t page_no) {
+  if (powered_off_) return Status::Unavailable("flash device powered off");
+  TC_RETURN_IF_ERROR(CheckRead(page_no));
+  if (plan_.transient_read_error_rate > 0 &&
+      rng_.NextBernoulli(plan_.transient_read_error_rate)) {
+    ChargeRead();
+    return Status::IOError("simulated transient read error");
+  }
+  TC_ASSIGN_OR_RETURN(Bytes data, storage::FlashDevice::ReadPage(page_no));
+  if (plan_.read_disturb_bit_flip_rate > 0 &&
+      rng_.NextBernoulli(plan_.read_disturb_bit_flip_rate) && !data.empty()) {
+    size_t bit = rng_.NextBelow(data.size() * 8);
+    data[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+  }
+  return data;
+}
+
+Status FaultyFlashDevice::ProgramPage(size_t page_no, const Bytes& data) {
+  if (powered_off_) return Status::Unavailable("flash device powered off");
+  TC_RETURN_IF_ERROR(CheckProgram(page_no, data));
+  ++write_ops_;
+  TC_RETURN_IF_ERROR(ApplyWriteFault(page_no, &data, 0));
+  if (plan_.stuck_erased_blocks.count(page_no /
+                                      geometry().pages_per_block) != 0) {
+    ChargeProgram();  // Reports success, but nothing sticks.
+    return Status::OK();
+  }
+  return storage::FlashDevice::ProgramPage(page_no, data);
+}
+
+Status FaultyFlashDevice::EraseBlock(size_t block_no) {
+  if (powered_off_) return Status::Unavailable("flash device powered off");
+  TC_RETURN_IF_ERROR(CheckErase(block_no));
+  ++write_ops_;
+  erase_ordinals_.push_back(write_ops_);
+  TC_RETURN_IF_ERROR(ApplyWriteFault(0, nullptr, block_no));
+  return storage::FlashDevice::EraseBlock(block_no);
+}
+
+Status FaultyFlashDevice::CorruptPage(size_t page_no, int bits) {
+  TC_RETURN_IF_ERROR(CheckRead(page_no));
+  if (!IsPageProgrammed(page_no)) {
+    return Status::FailedPrecondition("cannot corrupt an erased page");
+  }
+  Bytes data = RawPage(page_no);
+  for (int i = 0; i < bits; ++i) {
+    size_t bit = rng_.NextBelow(data.size() * 8);
+    data[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+  }
+  RawSetPage(page_no, std::move(data));
+  return Status::OK();
+}
+
+}  // namespace tc::testing

@@ -1,0 +1,111 @@
+#ifndef TC_TESTING_FAULT_INJECTION_H_
+#define TC_TESTING_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "tc/common/bytes.h"
+#include "tc/common/result.h"
+#include "tc/common/rng.h"
+#include "tc/storage/flash_device.h"
+
+namespace tc::testing {
+
+/// What a power loss leaves behind on the page being programmed.
+enum class TornWriteMode : uint8_t {
+  kNone = 0,    ///< Power fails before any byte reaches the page.
+  kPrefix = 1,  ///< A random non-empty strict prefix of the page persists.
+};
+
+/// Seeded, scriptable fault schedule for a FaultyFlashDevice. All
+/// randomness is drawn from `seed`, so a schedule replays identically.
+///
+/// "Write ops" below are accepted programs and erases, numbered from 1 in
+/// execution order; reads do not count (a crash during a read leaves the
+/// same state as a crash just before the next write). Invalid operations
+/// are rejected by validation before any fault fires, so they never shift
+/// the numbering.
+struct FaultPlan {
+  uint64_t seed = 1;
+
+  /// Kill the device at the Nth write op (1-based): the op fails with
+  /// kIOError and every later operation fails with kUnavailable until
+  /// PowerOn(). 0 = never.
+  uint64_t power_loss_after_write_ops = 0;
+
+  /// Residue of a program interrupted by `power_loss_after_write_ops`.
+  TornWriteMode torn = TornWriteMode::kNone;
+
+  /// Write ops (1-based ordinals) that fail transiently with kIOError —
+  /// the device stays up, but a failing program persists a torn prefix
+  /// (per `torn`) and a failing erase leaves the block half-erased.
+  std::set<uint64_t> failing_write_ops;
+
+  /// Per-read probability of a transient kIOError (time is still spent).
+  double transient_read_error_rate = 0.0;
+
+  /// Per-read probability of one flipped bit in the *returned* copy only
+  /// (NAND read disturb; the stored page is intact).
+  double read_disturb_bit_flip_rate = 0.0;
+
+  /// Blocks whose programs silently do nothing (stuck-at-erased cells):
+  /// the op reports success, costs time, but no byte sticks. The store
+  /// can only catch this with read-back verification.
+  std::set<size_t> stuck_erased_blocks;
+};
+
+/// FlashDevice wrapper with deterministic fault injection. Used by the
+/// CrashPointRunner to kill a workload at every I/O step and by the
+/// property/robustness suites to model NAND misbehaviour (torn page
+/// writes, interrupted erases, bit rot, transient read errors).
+class FaultyFlashDevice : public storage::FlashDevice {
+ public:
+  FaultyFlashDevice(const storage::FlashGeometry& geometry, FaultPlan plan);
+
+  Result<Bytes> ReadPage(size_t page_no) override;
+  Status ProgramPage(size_t page_no, const Bytes& data) override;
+  Status EraseBlock(size_t block_no) override;
+
+  /// True after a scheduled power loss fired; every operation fails with
+  /// kUnavailable until PowerOn().
+  bool powered_off() const { return powered_off_; }
+
+  /// Clears the powered-off latch — the "reboot" before recovery.
+  void PowerOn() { powered_off_ = false; }
+
+  /// Replaces the fault schedule (e.g. disable all faults after reboot).
+  /// The write-op counter keeps running.
+  void SetPlan(FaultPlan plan);
+
+  /// Accepted write ops (programs + erases) seen so far.
+  uint64_t write_ops_seen() const { return write_ops_; }
+
+  /// Write-op ordinals at which block erases happened — lets a test aim a
+  /// power loss exactly at a GC erase.
+  const std::vector<uint64_t>& erase_op_ordinals() const {
+    return erase_ordinals_;
+  }
+
+  /// Persistent corruption: flips `bits` random bit positions of a
+  /// programmed page in place (the E8-style adversary with a soldering
+  /// iron, or plain NAND bit rot).
+  Status CorruptPage(size_t page_no, int bits);
+
+ private:
+  /// Returns non-OK if the current write op is scheduled to fail;
+  /// `torn_target`/`torn_data` describe the in-flight program (null for
+  /// erases).
+  Status ApplyWriteFault(size_t page_no, const Bytes* program_data,
+                         size_t block_no);
+
+  FaultPlan plan_;
+  Rng rng_;
+  uint64_t write_ops_ = 0;
+  bool powered_off_ = false;
+  std::vector<uint64_t> erase_ordinals_;
+};
+
+}  // namespace tc::testing
+
+#endif  // TC_TESTING_FAULT_INJECTION_H_

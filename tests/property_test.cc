@@ -19,6 +19,8 @@
 #include "tc/storage/flash_device.h"
 #include "tc/storage/log_store.h"
 #include "tc/storage/page_transform.h"
+#include "tc/tee/tee.h"
+#include "tc/testing/crash_point_runner.h"
 
 namespace tc {
 namespace {
@@ -247,6 +249,37 @@ TEST_P(StoreRecovery, FlushedStateSurvivesRandomWorkloads) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StoreRecovery,
                          ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// -------------------------------------------- fault-injection corruption
+
+// Bit flips on flash pages under the TEE-keyed AEAD transform must always
+// surface as a decode error — never as silently wrong data. Each trial
+// flips 1-8 random bits on a random programmed page and re-reads.
+class AeadFlashCorruption : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AeadFlashCorruption, EveryBitFlipIsDetected) {
+  storage::FlashGeometry geo;
+  geo.page_size = 512;
+  geo.pages_per_block = 8;
+  geo.block_count = 32;
+  tee::TrustedExecutionEnvironment tee("corruption-owner",
+                                       tee::DeviceClass::kSmartPhone);
+  ASSERT_TRUE(tee.keystore().GenerateKey("storage-root").ok());
+  tc::testing::CorruptionSweepReport report = tc::testing::RunCorruptionSweep(
+      geo,
+      [&tee] {
+        return std::make_unique<storage::EncryptedPageTransform>(
+            &tee, "storage-root");
+      },
+      /*trials=*/25, GetParam());
+  EXPECT_EQ(report.trials, 25u);
+  EXPECT_EQ(report.silent_wrong_reads, 0u);
+  EXPECT_EQ(report.undetected, 0u);
+  EXPECT_EQ(report.detected, report.trials);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AeadFlashCorruption,
+                         ::testing::Values(101, 202, 303, 404));
 
 // ------------------------------------------------------ ts chunk codec
 

@@ -6,6 +6,7 @@
 #include "tc/storage/log_store.h"
 #include "tc/storage/page_transform.h"
 #include "tc/tee/tee.h"
+#include "tc/testing/fault_injection.h"
 
 namespace tc::storage {
 namespace {
@@ -49,6 +50,61 @@ TEST(FlashDeviceTest, BoundsChecks) {
   EXPECT_FALSE(dev.ProgramPage(8 * 32, Bytes(512)).ok());
   EXPECT_FALSE(dev.EraseBlock(32).ok());
   EXPECT_FALSE(dev.ProgramPage(0, Bytes(100)).ok());  // Wrong size.
+}
+
+TEST(FlashDeviceTest, RejectedOpsDoNotAdvanceStatsOrTime) {
+  FlashDevice dev(SmallGeometry());
+  ASSERT_TRUE(dev.ProgramPage(0, Bytes(512, 1)).ok());
+  FlashStats before = dev.stats();
+  // Out-of-range, wrong size and forbidden overwrite: the chip refuses
+  // them before doing any work.
+  EXPECT_FALSE(dev.ReadPage(8 * 32).ok());
+  EXPECT_FALSE(dev.ProgramPage(8 * 32, Bytes(512)).ok());
+  EXPECT_FALSE(dev.ProgramPage(1, Bytes(100)).ok());
+  EXPECT_FALSE(dev.ProgramPage(0, Bytes(512, 2)).ok());
+  EXPECT_FALSE(dev.EraseBlock(32).ok());
+  EXPECT_EQ(dev.stats().page_reads, before.page_reads);
+  EXPECT_EQ(dev.stats().page_programs, before.page_programs);
+  EXPECT_EQ(dev.stats().block_erases, before.block_erases);
+  EXPECT_EQ(dev.stats().simulated_time_us, before.simulated_time_us);
+  EXPECT_EQ(dev.BlockWear(0), 0u);
+}
+
+TEST(FaultyFlashDeviceTest, TornProgramLeavesPageObservablyPartial) {
+  tc::testing::FaultPlan plan;
+  plan.seed = 7;
+  plan.power_loss_after_write_ops = 1;
+  plan.torn = tc::testing::TornWriteMode::kPrefix;
+  tc::testing::FaultyFlashDevice dev(SmallGeometry(), plan);
+  Bytes data(512, 0xab);
+  EXPECT_EQ(dev.ProgramPage(3, data).code(), StatusCode::kIOError);
+  EXPECT_TRUE(dev.powered_off());
+  EXPECT_EQ(dev.ReadPage(0).status().code(), StatusCode::kUnavailable);
+  dev.PowerOn();
+  // The page is neither untouched (all 0xFF) nor fully written: a real
+  // torn write, a prefix of the data followed by erased bytes.
+  ASSERT_TRUE(dev.IsPageProgrammed(3));
+  Bytes on_flash = *dev.ReadPage(3);
+  EXPECT_NE(on_flash, data);
+  EXPECT_NE(on_flash, Bytes(512, 0xff));
+  EXPECT_EQ(on_flash[0], 0xab);
+  EXPECT_EQ(on_flash[511], 0xff);
+  // The interrupted program still spent its time.
+  EXPECT_EQ(dev.stats().page_programs, 1u);
+}
+
+TEST(FaultyFlashDeviceTest, InvalidOpsDoNotConsumeScheduledFaults) {
+  tc::testing::FaultPlan plan;
+  plan.power_loss_after_write_ops = 1;
+  tc::testing::FaultyFlashDevice dev(SmallGeometry(), plan);
+  // Invalid operations are rejected by validation and must not advance
+  // the write-op counter, or crash-point numbering would drift.
+  EXPECT_FALSE(dev.ProgramPage(8 * 32, Bytes(512)).ok());
+  EXPECT_FALSE(dev.ProgramPage(0, Bytes(3)).ok());
+  EXPECT_EQ(dev.write_ops_seen(), 0u);
+  EXPECT_FALSE(dev.powered_off());
+  EXPECT_EQ(dev.ProgramPage(0, Bytes(512, 1)).code(), StatusCode::kIOError);
+  EXPECT_TRUE(dev.powered_off());
 }
 
 TEST(FlashDeviceTest, StatsAccumulate) {
@@ -262,6 +318,175 @@ TEST(EncryptedStoreTest, WrongKeyCannotOpen) {
   EncryptedPageTransform thief_transform(&thief, "root");
   auto stolen = LogStore::Open(&device, &thief_transform, LogStoreOptions{});
   EXPECT_FALSE(stolen.ok());
+}
+
+TEST(EncryptedStoreTest, MismatchedKeyFailsEvenWithTornTolerance) {
+  tee::TrustedExecutionEnvironment owner("owner-dev",
+                                         tee::DeviceClass::kHomeGateway);
+  tee::TrustedExecutionEnvironment thief("thief-dev",
+                                         tee::DeviceClass::kHomeGateway);
+  ASSERT_TRUE(owner.keystore().GenerateKey("root").ok());
+  ASSERT_TRUE(thief.keystore().GenerateKey("root").ok());
+
+  FlashDevice device(SmallGeometry());
+  {
+    EncryptedPageTransform transform(&owner, "root");
+    auto store = LogStore::Open(&device, &transform, LogStoreOptions{});
+    ASSERT_TRUE(store.ok());
+    // Enough data that the image spans well past any torn-page allowance.
+    for (int k = 0; k < 80; ++k) {
+      ASSERT_TRUE(
+          (*store)->Put("k" + std::to_string(k), Bytes(100, 0x5a)).ok());
+    }
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  // Torn-page tolerance must not let a wrong-key open masquerade as an
+  // empty-but-healthy store: every page is undecodable, which is data
+  // loss, not crash residue.
+  EncryptedPageTransform thief_transform(&thief, "root");
+  LogStoreOptions tolerant;
+  tolerant.max_recovery_skips = SmallGeometry().pages_per_block;
+  auto stolen = LogStore::Open(&device, &thief_transform, tolerant);
+  ASSERT_FALSE(stolen.ok());
+  EXPECT_EQ(stolen.status().code(), StatusCode::kDataLoss);
+}
+
+class MidGcCrashTest : public ::testing::Test {
+ protected:
+  // Small device: ~5 pages of live data per round over 12 blocks, so the
+  // churn forces garbage collection within a few rounds.
+  static FlashGeometry GcGeometry() {
+    FlashGeometry geo;
+    geo.page_size = 512;
+    geo.pages_per_block = 4;
+    geo.block_count = 12;
+    return geo;
+  }
+
+  // Churns overlapping keys until GC erases blocks, with a power loss
+  // scheduled at write-op `crash_at` (0 = none). Returns the device.
+  std::unique_ptr<tc::testing::FaultyFlashDevice> RunWorkload(
+      uint64_t crash_at, bool* crashed) {
+    tc::testing::FaultPlan plan;
+    plan.seed = 5;
+    plan.power_loss_after_write_ops = crash_at;
+    plan.torn = tc::testing::TornWriteMode::kPrefix;
+    auto dev = std::make_unique<tc::testing::FaultyFlashDevice>(
+        GcGeometry(), plan);
+    auto store = LogStore::Open(dev.get(), &plain_, LogStoreOptions{});
+    if (!store.ok()) {
+      *crashed = true;
+      return dev;
+    }
+    *crashed = false;
+    Bytes value(100, 0x42);
+    for (int round = 0; round < 40 && !*crashed; ++round) {
+      for (int k = 0; k < 20; ++k) {
+        Status s = (*store)->Put("key-" + std::to_string(k), value);
+        if (!s.ok()) {
+          *crashed = true;
+          break;
+        }
+      }
+    }
+    if (!*crashed) EXPECT_TRUE((*store)->Flush().ok());
+    return dev;
+  }
+
+  PlainPageTransform plain_;
+};
+
+TEST_F(MidGcCrashTest, ReopenAfterCrashDuringGcErase) {
+  // Find where the GC erases land, then aim a power loss exactly at the
+  // first one, and at the flush-out program just before it.
+  bool crashed = false;
+  auto probe = RunWorkload(0, &crashed);
+  ASSERT_FALSE(crashed);
+  ASSERT_FALSE(probe->erase_op_ordinals().empty());
+  uint64_t first_erase = probe->erase_op_ordinals().front();
+
+  for (uint64_t crash_at : {first_erase, first_erase - 1}) {
+    auto dev = RunWorkload(crash_at, &crashed);
+    ASSERT_TRUE(crashed) << "power loss at op " << crash_at;
+    dev->PowerOn();
+    dev->SetPlan(tc::testing::FaultPlan{});
+    LogStoreOptions tolerant;
+    tolerant.max_recovery_skips = GcGeometry().pages_per_block;
+    auto reopened = LogStore::Open(dev.get(), &plain_, tolerant);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    EXPECT_LE((*reopened)->stats().recovery_pages_skipped, 1u);
+    // Acknowledged state: every key was flushed (page auto-flush + GC
+    // relocation) many rounds before the crash; all 20 must be present
+    // with the (only ever written) value.
+    Bytes value(100, 0x42);
+    for (int k = 0; k < 20; ++k) {
+      auto got = (*reopened)->Get("key-" + std::to_string(k));
+      ASSERT_TRUE(got.ok()) << "key-" << k << " after crash at " << crash_at;
+      EXPECT_EQ(*got, value);
+    }
+    // The store stays writable after the interrupted GC.
+    ASSERT_TRUE((*reopened)->Put("after-crash", ToBytes("ok")).ok());
+    ASSERT_TRUE((*reopened)->Flush().ok());
+    EXPECT_EQ(*(*reopened)->Get("after-crash"), ToBytes("ok"));
+  }
+}
+
+TEST(LogStoreFaultTest, TransientProgramFailureIsRetryable) {
+  tc::testing::FaultPlan plan;
+  plan.seed = 9;
+  plan.failing_write_ops = {1};  // First program fails, device stays up.
+  plan.torn = tc::testing::TornWriteMode::kPrefix;
+  tc::testing::FaultyFlashDevice dev(SmallGeometry(), plan);
+  PlainPageTransform plain;
+  auto store = LogStore::Open(&dev, &plain, LogStoreOptions{});
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("k", ToBytes("v")).ok());
+  EXPECT_EQ((*store)->Flush().code(), StatusCode::kIOError);
+  // The records stayed buffered; the retry skips the torn page and lands
+  // on the next one.
+  ASSERT_TRUE((*store)->Flush().ok());
+  EXPECT_EQ((*store)->stats().pages_abandoned, 1u);
+  EXPECT_EQ(*(*store)->Get("k"), ToBytes("v"));
+  // Recovery tolerates the abandoned torn page and sees the data.
+  store->reset();
+  LogStoreOptions tolerant;
+  tolerant.max_recovery_skips = 2;
+  auto reopened = LogStore::Open(&dev, &plain, tolerant);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(*(*reopened)->Get("k"), ToBytes("v"));
+  EXPECT_LE((*reopened)->stats().recovery_pages_skipped, 1u);
+}
+
+TEST(LogStoreFaultTest, StuckErasedFlashDetectedByParanoidVerify) {
+  tc::testing::FaultPlan plan;
+  for (size_t b = 0; b < SmallGeometry().block_count; ++b) {
+    plan.stuck_erased_blocks.insert(b);
+  }
+  // Without read-back verification the lost program goes unnoticed until
+  // the data silently fails to recover...
+  {
+    tc::testing::FaultyFlashDevice dev(SmallGeometry(), plan);
+    PlainPageTransform plain;
+    auto store = LogStore::Open(&dev, &plain, LogStoreOptions{});
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("k", ToBytes("v")).ok());
+    EXPECT_TRUE((*store)->Flush().ok());  // Silent loss.
+    store->reset();
+    auto reopened = LogStore::Open(&dev, &plain, LogStoreOptions{});
+    ASSERT_TRUE(reopened.ok());
+    EXPECT_TRUE((*reopened)->Get("k").status().IsNotFound());
+  }
+  // ...with it, the store surfaces the failure at write time.
+  {
+    tc::testing::FaultyFlashDevice dev(SmallGeometry(), plan);
+    PlainPageTransform plain;
+    LogStoreOptions paranoid;
+    paranoid.paranoid_program_verify = true;
+    auto store = LogStore::Open(&dev, &plain, paranoid);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("k", ToBytes("v")).ok());
+    EXPECT_EQ((*store)->Flush().code(), StatusCode::kIOError);
+  }
 }
 
 }  // namespace
