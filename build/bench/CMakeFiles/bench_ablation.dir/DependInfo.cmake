@@ -16,13 +16,14 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/tc_cell.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/tc_nilm.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/tc_testing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tc_fleet.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/tc_policy.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/tc_compute.dir/DependInfo.cmake"
-  "/root/repo/build/src/CMakeFiles/tc_cloud.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/tc_db.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/tc_sensors.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/tc_storage.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/tc_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tc_cloud.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/tc_crypto.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/tc_common.dir/DependInfo.cmake"
   )

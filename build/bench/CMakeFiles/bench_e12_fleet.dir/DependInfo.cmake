@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e12_fleet.cc" "bench/CMakeFiles/bench_e12_fleet.dir/bench_e12_fleet.cc.o" "gcc" "bench/CMakeFiles/bench_e12_fleet.dir/bench_e12_fleet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tc_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tc_nilm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tc_testing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tc_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tc_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tc_compute.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tc_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tc_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tc_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tc_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

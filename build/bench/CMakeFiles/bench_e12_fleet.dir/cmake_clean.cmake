@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_fleet.dir/bench_e12_fleet.cc.o"
+  "CMakeFiles/bench_e12_fleet.dir/bench_e12_fleet.cc.o.d"
+  "bench_e12_fleet"
+  "bench_e12_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -211,13 +211,14 @@ bench/CMakeFiles/bench_e1_figure1.dir/bench_e1_figure1.cc.o: \
  /root/repo/src/tc/common/macros.h /root/repo/src/tc/common/status.h \
  /root/repo/src/tc/crypto/bignum.h /root/repo/src/tc/common/bytes.h \
  /root/repo/src/tc/crypto/random.h \
- /root/repo/src/tc/cloud/infrastructure.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/tc/cloud/infrastructure.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/shared_mutex \
  /root/repo/src/tc/common/rng.h /root/repo/src/tc/cloud/blob_store.h \
- /root/repo/src/tc/common/clock.h /root/repo/src/tc/crypto/merkle.h \
- /root/repo/src/tc/db/database.h /root/repo/src/tc/db/keyword_index.h \
- /root/repo/src/tc/storage/log_store.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
@@ -225,6 +226,9 @@ bench/CMakeFiles/bench_e1_figure1.dir/bench_e1_figure1.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/tc/common/clock.h /root/repo/src/tc/crypto/merkle.h \
+ /root/repo/src/tc/db/database.h /root/repo/src/tc/db/keyword_index.h \
+ /root/repo/src/tc/storage/log_store.h \
  /root/repo/src/tc/storage/flash_device.h \
  /root/repo/src/tc/storage/page_transform.h /root/repo/src/tc/tee/tee.h \
  /root/repo/src/tc/crypto/dh.h /root/repo/src/tc/crypto/group.h \

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tc/fleet/fleet.cc" "src/CMakeFiles/tc_fleet.dir/tc/fleet/fleet.cc.o" "gcc" "src/CMakeFiles/tc_fleet.dir/tc/fleet/fleet.cc.o.d"
+  "/root/repo/src/tc/fleet/worker_pool.cc" "src/CMakeFiles/tc_fleet.dir/tc/fleet/worker_pool.cc.o" "gcc" "src/CMakeFiles/tc_fleet.dir/tc/fleet/worker_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tc_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_fleet.dir/tc/fleet/fleet.cc.o"
+  "CMakeFiles/tc_fleet.dir/tc/fleet/fleet.cc.o.d"
+  "CMakeFiles/tc_fleet.dir/tc/fleet/worker_pool.cc.o"
+  "CMakeFiles/tc_fleet.dir/tc/fleet/worker_pool.cc.o.d"
+  "libtc_fleet.a"
+  "libtc_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -295,6 +295,9 @@ tests/CMakeFiles/cloud_test.dir/cloud_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/tc/cloud/infrastructure.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/tc/common/bytes.h /root/repo/src/tc/common/result.h \
- /root/repo/src/tc/common/macros.h /root/repo/src/tc/common/status.h \
- /root/repo/src/tc/common/rng.h /root/repo/src/tc/cloud/blob_store.h
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/shared_mutex /root/repo/src/tc/common/bytes.h \
+ /root/repo/src/tc/common/result.h /root/repo/src/tc/common/macros.h \
+ /root/repo/src/tc/common/status.h /root/repo/src/tc/common/rng.h \
+ /root/repo/src/tc/cloud/blob_store.h

@@ -302,4 +302,6 @@ tests/CMakeFiles/compute_test.dir/compute_test.cc.o: \
  /root/repo/src/tc/compute/secure_aggregation.h \
  /root/repo/src/tc/cloud/infrastructure.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/tc/cloud/blob_store.h
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/shared_mutex /root/repo/src/tc/cloud/blob_store.h

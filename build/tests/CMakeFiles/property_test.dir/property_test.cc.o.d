@@ -302,11 +302,13 @@ tests/CMakeFiles/property_test.dir/property_test.cc.o: \
  /root/repo/src/tc/compute/secure_aggregation.h \
  /root/repo/src/tc/cloud/infrastructure.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/tc/cloud/blob_store.h /root/repo/src/tc/crypto/aead.h \
- /root/repo/src/tc/crypto/bignum.h /root/repo/src/tc/crypto/random.h \
- /root/repo/src/tc/crypto/merkle.h /root/repo/src/tc/crypto/shamir.h \
- /root/repo/src/tc/db/timeseries.h /root/repo/src/tc/common/clock.h \
- /root/repo/src/tc/storage/log_store.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/shared_mutex /root/repo/src/tc/cloud/blob_store.h \
+ /root/repo/src/tc/crypto/aead.h /root/repo/src/tc/crypto/bignum.h \
+ /root/repo/src/tc/crypto/random.h /root/repo/src/tc/crypto/merkle.h \
+ /root/repo/src/tc/crypto/shamir.h /root/repo/src/tc/db/timeseries.h \
+ /root/repo/src/tc/common/clock.h /root/repo/src/tc/storage/log_store.h \
  /root/repo/src/tc/storage/flash_device.h \
  /root/repo/src/tc/storage/page_transform.h /root/repo/src/tc/tee/tee.h \
  /root/repo/src/tc/crypto/dh.h /root/repo/src/tc/crypto/group.h \

@@ -301,9 +301,12 @@ tests/CMakeFiles/scenario_test.dir/scenario_test.cc.o: \
  /root/repo/src/tc/common/bytes.h /root/repo/src/tc/crypto/random.h \
  /root/repo/src/tc/cloud/infrastructure.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/tc/common/rng.h /root/repo/src/tc/cloud/blob_store.h \
- /root/repo/src/tc/common/clock.h /root/repo/src/tc/crypto/merkle.h \
- /root/repo/src/tc/db/database.h /root/repo/src/tc/db/keyword_index.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/shared_mutex /root/repo/src/tc/common/rng.h \
+ /root/repo/src/tc/cloud/blob_store.h /root/repo/src/tc/common/clock.h \
+ /root/repo/src/tc/crypto/merkle.h /root/repo/src/tc/db/database.h \
+ /root/repo/src/tc/db/keyword_index.h \
  /root/repo/src/tc/storage/log_store.h \
  /root/repo/src/tc/storage/flash_device.h \
  /root/repo/src/tc/storage/page_transform.h /root/repo/src/tc/tee/tee.h \

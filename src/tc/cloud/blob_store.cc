@@ -1,17 +1,66 @@
 #include "tc/cloud/blob_store.h"
 
+#include <algorithm>
+
 namespace tc::cloud {
 
+BlobStore::BlobStore(size_t shard_count) {
+  if (shard_count == 0) shard_count = 1;
+  shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+size_t BlobStore::ShardIndex(const std::string& id) const {
+  return std::hash<std::string>{}(id) % shards_.size();
+}
+
+std::unique_lock<std::mutex> BlobStore::LockShard(const Shard& shard) const {
+  std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    shard.contention.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+  return lock;
+}
+
 uint64_t BlobStore::Put(const std::string& id, const Bytes& data) {
-  std::vector<Bytes>& versions = blobs_[id];
+  Shard& shard = *shards_[ShardIndex(id)];
+  auto lock = LockShard(shard);
+  std::vector<Bytes>& versions = shard.blobs[id];
   versions.push_back(data);
-  total_bytes_ += data.size();
+  shard.total_bytes += data.size();
   return versions.size();
 }
 
+std::vector<uint64_t> BlobStore::PutBatch(
+    const std::vector<std::pair<std::string, Bytes>>& items) {
+  std::vector<uint64_t> versions(items.size(), 0);
+  // Group item indexes by shard so each shard lock is taken at most once.
+  std::vector<std::vector<size_t>> by_shard(shards_.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    by_shard[ShardIndex(items[i].first)].push_back(i);
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    auto lock = LockShard(shard);
+    for (size_t i : by_shard[s]) {
+      std::vector<Bytes>& blob_versions = shard.blobs[items[i].first];
+      blob_versions.push_back(items[i].second);
+      shard.total_bytes += items[i].second.size();
+      versions[i] = blob_versions.size();
+    }
+  }
+  return versions;
+}
+
 Result<Bytes> BlobStore::Get(const std::string& id) const {
-  auto it = blobs_.find(id);
-  if (it == blobs_.end() || it->second.empty()) {
+  const Shard& shard = *shards_[ShardIndex(id)];
+  auto lock = LockShard(shard);
+  auto it = shard.blobs.find(id);
+  if (it == shard.blobs.end() || it->second.empty()) {
     return Status::NotFound("no such blob: " + id);
   }
   return it->second.back();
@@ -19,46 +68,96 @@ Result<Bytes> BlobStore::Get(const std::string& id) const {
 
 Result<Bytes> BlobStore::GetVersion(const std::string& id,
                                     uint64_t version) const {
-  auto it = blobs_.find(id);
-  if (it == blobs_.end() || version == 0 || version > it->second.size()) {
+  const Shard& shard = *shards_[ShardIndex(id)];
+  auto lock = LockShard(shard);
+  auto it = shard.blobs.find(id);
+  if (it == shard.blobs.end() || version == 0 || version > it->second.size()) {
     return Status::NotFound("no such blob version");
   }
   return it->second[version - 1];
 }
 
 Result<uint64_t> BlobStore::LatestVersion(const std::string& id) const {
-  auto it = blobs_.find(id);
-  if (it == blobs_.end() || it->second.empty()) {
+  const Shard& shard = *shards_[ShardIndex(id)];
+  auto lock = LockShard(shard);
+  auto it = shard.blobs.find(id);
+  if (it == shard.blobs.end() || it->second.empty()) {
     return Status::NotFound("no such blob: " + id);
   }
   return static_cast<uint64_t>(it->second.size());
 }
 
 bool BlobStore::Exists(const std::string& id) const {
-  return blobs_.count(id) > 0;
+  const Shard& shard = *shards_[ShardIndex(id)];
+  auto lock = LockShard(shard);
+  return shard.blobs.count(id) > 0;
 }
 
 Status BlobStore::Delete(const std::string& id) {
-  auto it = blobs_.find(id);
-  if (it == blobs_.end()) return Status::NotFound("no such blob: " + id);
-  for (const Bytes& v : it->second) total_bytes_ -= v.size();
-  blobs_.erase(it);
+  Shard& shard = *shards_[ShardIndex(id)];
+  auto lock = LockShard(shard);
+  auto it = shard.blobs.find(id);
+  if (it == shard.blobs.end()) return Status::NotFound("no such blob: " + id);
+  for (const Bytes& v : it->second) shard.total_bytes -= v.size();
+  shard.blobs.erase(it);
   return Status::OK();
 }
 
 std::vector<std::string> BlobStore::List(const std::string& prefix) const {
   std::vector<std::string> out;
-  for (auto it = blobs_.lower_bound(prefix); it != blobs_.end(); ++it) {
-    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
-    out.push_back(it->first);
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    auto lock = LockShard(shard);
+    for (auto it = shard.blobs.lower_bound(prefix); it != shard.blobs.end();
+         ++it) {
+      if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+      out.push_back(it->first);
+    }
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
-Bytes* BlobStore::MutableLatest(const std::string& id) {
-  auto it = blobs_.find(id);
-  if (it == blobs_.end() || it->second.empty()) return nullptr;
-  return &it->second.back();
+size_t BlobStore::blob_count() const {
+  size_t count = 0;
+  for (const auto& shard_ptr : shards_) {
+    auto lock = LockShard(*shard_ptr);
+    count += shard_ptr->blobs.size();
+  }
+  return count;
+}
+
+uint64_t BlobStore::total_bytes() const {
+  uint64_t bytes = 0;
+  for (const auto& shard_ptr : shards_) {
+    auto lock = LockShard(*shard_ptr);
+    bytes += shard_ptr->total_bytes;
+  }
+  return bytes;
+}
+
+Status BlobStore::MutateLatest(const std::string& id,
+                               const std::function<void(Bytes&)>& mutator) {
+  Shard& shard = *shards_[ShardIndex(id)];
+  auto lock = LockShard(shard);
+  auto it = shard.blobs.find(id);
+  if (it == shard.blobs.end() || it->second.empty()) {
+    return Status::NotFound("no such blob: " + id);
+  }
+  Bytes& latest = it->second.back();
+  const size_t before = latest.size();
+  mutator(latest);
+  shard.total_bytes += latest.size();
+  shard.total_bytes -= before;
+  return Status::OK();
+}
+
+uint64_t BlobStore::lock_contention() const {
+  uint64_t total = 0;
+  for (const auto& shard_ptr : shards_) {
+    total += shard_ptr->contention.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 }  // namespace tc::cloud

@@ -1,54 +1,142 @@
 #include "tc/cloud/infrastructure.h"
 
+#include <chrono>
+#include <thread>
+
 namespace tc::cloud {
+namespace {
+
+// splitmix64 finalizer: decorrelates the per-shard RNG streams derived from
+// one user-facing adversary seed.
+uint64_t MixSeed(uint64_t seed, uint64_t shard) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (shard + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
 
 CloudInfrastructure::CloudInfrastructure(const AdversaryConfig& adversary)
-    : adversary_(adversary), rng_(adversary.seed) {}
+    : CloudInfrastructure(adversary, Options{}) {}
+
+CloudInfrastructure::CloudInfrastructure(const AdversaryConfig& adversary,
+                                         const Options& options)
+    : options_(options),
+      blobs_(options.blob_shards == 0 ? 1 : options.blob_shards),
+      adversary_(adversary) {
+  blob_rngs_.reserve(blobs_.shard_count());
+  for (size_t i = 0; i < blobs_.shard_count(); ++i) {
+    blob_rngs_.push_back(std::make_unique<RngSlot>(MixSeed(adversary.seed, i)));
+  }
+  size_t queue_shards = options.queue_shards == 0 ? 1 : options.queue_shards;
+  queue_shards_.reserve(queue_shards);
+  for (size_t i = 0; i < queue_shards; ++i) {
+    queue_shards_.push_back(std::make_unique<QueueShard>(
+        MixSeed(adversary.seed, blobs_.shard_count() + i)));
+  }
+}
+
+size_t CloudInfrastructure::QueueShardIndex(
+    const std::string& recipient) const {
+  return std::hash<std::string>{}(recipient) % queue_shards_.size();
+}
+
+std::unique_lock<std::mutex> CloudInfrastructure::LockQueueShard(
+    const QueueShard& shard) const {
+  std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    shard.contention.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+  return lock;
+}
+
+AdversaryConfig CloudInfrastructure::SnapshotAdversary() const {
+  std::shared_lock<std::shared_mutex> lock(adversary_mu_);
+  return adversary_;
+}
+
+void CloudInfrastructure::set_adversary(const AdversaryConfig& config) {
+  std::unique_lock<std::shared_mutex> lock(adversary_mu_);
+  adversary_ = config;
+}
+
+AdversaryConfig CloudInfrastructure::adversary_config() const {
+  return SnapshotAdversary();
+}
+
+void CloudInfrastructure::ChargeLatency() const {
+  if (options_.op_latency_us == 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(options_.op_latency_us));
+}
 
 uint64_t CloudInfrastructure::PutBlob(const std::string& id,
                                       const Bytes& data) {
-  ++stats_.blob_puts;
-  stats_.bytes_in += data.size();
+  ChargeLatency();
+  stats_.blob_puts.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_in.fetch_add(data.size(), std::memory_order_relaxed);
   return blobs_.Put(id, data);
 }
 
+std::vector<uint64_t> CloudInfrastructure::PutBlobBatch(
+    const std::vector<std::pair<std::string, Bytes>>& items) {
+  ChargeLatency();  // One round-trip for the whole batch.
+  uint64_t bytes = 0;
+  for (const auto& [id, data] : items) bytes += data.size();
+  stats_.blob_puts.fetch_add(items.size(), std::memory_order_relaxed);
+  stats_.bytes_in.fetch_add(bytes, std::memory_order_relaxed);
+  return blobs_.PutBatch(items);
+}
+
 Result<Bytes> CloudInfrastructure::GetBlob(const std::string& id) {
-  ++stats_.blob_gets;
+  ChargeLatency();
+  stats_.blob_gets.fetch_add(1, std::memory_order_relaxed);
+  const AdversaryConfig adversary = SnapshotAdversary();
+  RngSlot& rng_slot = *blob_rngs_[blobs_.ShardIndex(id)];
 
   // Rollback attack: serve an older version as if it were the latest.
-  if (adversary_.rollback_read_prob > 0 &&
-      rng_.NextBernoulli(adversary_.rollback_read_prob)) {
-    auto latest = blobs_.LatestVersion(id);
-    if (latest.ok() && *latest > 1) {
-      uint64_t stale = 1 + rng_.NextBelow(*latest - 1);
-      ++adversary_stats_.reads_rolled_back;
-      TC_ASSIGN_OR_RETURN(Bytes data, blobs_.GetVersion(id, stale));
-      stats_.bytes_out += data.size();
-      return data;
+  if (adversary.rollback_read_prob > 0) {
+    std::unique_lock<std::mutex> rng_lock(rng_slot.mu);
+    if (rng_slot.rng.NextBernoulli(adversary.rollback_read_prob)) {
+      auto latest = blobs_.LatestVersion(id);
+      if (latest.ok() && *latest > 1) {
+        uint64_t stale = 1 + rng_slot.rng.NextBelow(*latest - 1);
+        rng_lock.unlock();
+        adversary_stats_.reads_rolled_back.fetch_add(
+            1, std::memory_order_relaxed);
+        TC_ASSIGN_OR_RETURN(Bytes data, blobs_.GetVersion(id, stale));
+        stats_.bytes_out.fetch_add(data.size(), std::memory_order_relaxed);
+        return data;
+      }
     }
   }
 
   TC_ASSIGN_OR_RETURN(Bytes data, blobs_.Get(id));
 
-  // Tampering attack: flip a few bytes in flight.
-  if (adversary_.tamper_read_prob > 0 && !data.empty() &&
-      rng_.NextBernoulli(adversary_.tamper_read_prob)) {
-    ++adversary_stats_.reads_tampered;
-    size_t flips = 1 + rng_.NextBelow(3);
-    for (size_t i = 0; i < flips; ++i) {
-      data[rng_.NextBelow(data.size())] ^=
-          static_cast<uint8_t>(1 + rng_.NextBelow(255));
+  // Tampering attack: flip a few bytes in flight (the stored blob stays
+  // intact — a weakly-malicious provider leaves no durable evidence).
+  if (adversary.tamper_read_prob > 0 && !data.empty()) {
+    std::unique_lock<std::mutex> rng_lock(rng_slot.mu);
+    if (rng_slot.rng.NextBernoulli(adversary.tamper_read_prob)) {
+      adversary_stats_.reads_tampered.fetch_add(1, std::memory_order_relaxed);
+      size_t flips = 1 + rng_slot.rng.NextBelow(3);
+      for (size_t i = 0; i < flips; ++i) {
+        data[rng_slot.rng.NextBelow(data.size())] ^=
+            static_cast<uint8_t>(1 + rng_slot.rng.NextBelow(255));
+      }
     }
   }
-  stats_.bytes_out += data.size();
+  stats_.bytes_out.fetch_add(data.size(), std::memory_order_relaxed);
   return data;
 }
 
 Result<Bytes> CloudInfrastructure::GetBlobVersion(const std::string& id,
                                                   uint64_t version) {
-  ++stats_.blob_gets;
+  ChargeLatency();
+  stats_.blob_gets.fetch_add(1, std::memory_order_relaxed);
   TC_ASSIGN_OR_RETURN(Bytes data, blobs_.GetVersion(id, version));
-  stats_.bytes_out += data.size();
+  stats_.bytes_out.fetch_add(data.size(), std::memory_order_relaxed);
   return data;
 }
 
@@ -70,52 +158,101 @@ uint64_t CloudInfrastructure::Send(const std::string& from,
                                    const std::string& to,
                                    const std::string& topic,
                                    const Bytes& payload) {
-  ++stats_.messages_sent;
-  stats_.bytes_in += payload.size();
-  Message msg{next_message_id_++, from, to, topic, payload};
+  ChargeLatency();
+  stats_.messages_sent.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_in.fetch_add(payload.size(), std::memory_order_relaxed);
+  const AdversaryConfig adversary = SnapshotAdversary();
+  uint64_t id = next_message_id_.fetch_add(1, std::memory_order_relaxed);
+  Message msg{id, from, to, topic, payload};
 
-  // Drop attack: the message silently disappears.
-  if (adversary_.drop_message_prob > 0 &&
-      rng_.NextBernoulli(adversary_.drop_message_prob)) {
-    ++adversary_stats_.messages_dropped;
-    return msg.id;
+  QueueShard& shard = *queue_shards_[QueueShardIndex(to)];
+  auto lock = LockQueueShard(shard);
+  // Drop attack: the message silently disappears (the sender still gets an
+  // id back — the provider acknowledged, then "lost" it).
+  if (adversary.drop_message_prob > 0 &&
+      shard.rng.NextBernoulli(adversary.drop_message_prob)) {
+    adversary_stats_.messages_dropped.fetch_add(1, std::memory_order_relaxed);
+    return id;
   }
-  queues_[to].push_back(std::move(msg));
-  return next_message_id_ - 1;
+  shard.queues[to].push_back(std::move(msg));
+  return id;
 }
 
 std::vector<Message> CloudInfrastructure::Receive(
     const std::string& recipient) {
+  ChargeLatency();
+  const AdversaryConfig adversary = SnapshotAdversary();
   std::vector<Message> out;
-  auto it = queues_.find(recipient);
-  if (it != queues_.end()) {
-    while (!it->second.empty()) {
-      out.push_back(std::move(it->second.front()));
-      it->second.pop_front();
+  QueueShard& shard = *queue_shards_[QueueShardIndex(recipient)];
+  {
+    auto lock = LockQueueShard(shard);
+    auto it = shard.queues.find(recipient);
+    if (it != shard.queues.end()) {
+      while (!it->second.empty()) {
+        out.push_back(std::move(it->second.front()));
+        it->second.pop_front();
+      }
+    }
+    // Replay attack: re-deliver a previously delivered message.
+    std::vector<Message>& history = shard.delivered_history[recipient];
+    if (adversary.replay_message_prob > 0 && !history.empty() &&
+        shard.rng.NextBernoulli(adversary.replay_message_prob)) {
+      adversary_stats_.messages_replayed.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      out.push_back(history[shard.rng.NextBelow(history.size())]);
+    }
+    history.insert(history.end(), out.begin(), out.end());
+    // Cap replay history to bound memory in long simulations.
+    if (history.size() > 1024) {
+      history.erase(history.begin(),
+                    history.begin() + (history.size() - 1024));
     }
   }
-  // Replay attack: re-deliver a previously delivered message.
-  std::vector<Message>& history = delivered_history_[recipient];
-  if (adversary_.replay_message_prob > 0 && !history.empty() &&
-      rng_.NextBernoulli(adversary_.replay_message_prob)) {
-    ++adversary_stats_.messages_replayed;
-    out.push_back(history[rng_.NextBelow(history.size())]);
-  }
-  for (const Message& msg : out) {
-    stats_.bytes_out += msg.payload.size();
-    ++stats_.messages_delivered;
-  }
-  history.insert(history.end(), out.begin(), out.end());
-  // Cap replay history to bound memory in long simulations.
-  if (history.size() > 1024) {
-    history.erase(history.begin(), history.begin() + (history.size() - 1024));
-  }
+  uint64_t bytes = 0;
+  for (const Message& msg : out) bytes += msg.payload.size();
+  stats_.bytes_out.fetch_add(bytes, std::memory_order_relaxed);
+  stats_.messages_delivered.fetch_add(out.size(), std::memory_order_relaxed);
   return out;
 }
 
 size_t CloudInfrastructure::PendingCount(const std::string& recipient) const {
-  auto it = queues_.find(recipient);
-  return it == queues_.end() ? 0 : it->second.size();
+  const QueueShard& shard = *queue_shards_[QueueShardIndex(recipient)];
+  auto lock = LockQueueShard(shard);
+  auto it = shard.queues.find(recipient);
+  return it == shard.queues.end() ? 0 : it->second.size();
+}
+
+CloudStats CloudInfrastructure::stats() const {
+  CloudStats out;
+  out.blob_puts = stats_.blob_puts.load(std::memory_order_relaxed);
+  out.blob_gets = stats_.blob_gets.load(std::memory_order_relaxed);
+  out.messages_sent = stats_.messages_sent.load(std::memory_order_relaxed);
+  out.messages_delivered =
+      stats_.messages_delivered.load(std::memory_order_relaxed);
+  out.bytes_in = stats_.bytes_in.load(std::memory_order_relaxed);
+  out.bytes_out = stats_.bytes_out.load(std::memory_order_relaxed);
+  return out;
+}
+
+AdversaryStats CloudInfrastructure::adversary_stats() const {
+  AdversaryStats out;
+  out.reads_tampered =
+      adversary_stats_.reads_tampered.load(std::memory_order_relaxed);
+  out.reads_rolled_back =
+      adversary_stats_.reads_rolled_back.load(std::memory_order_relaxed);
+  out.messages_dropped =
+      adversary_stats_.messages_dropped.load(std::memory_order_relaxed);
+  out.messages_replayed =
+      adversary_stats_.messages_replayed.load(std::memory_order_relaxed);
+  return out;
+}
+
+uint64_t CloudInfrastructure::queue_lock_contention() const {
+  uint64_t total = 0;
+  for (const auto& shard : queue_shards_) {
+    total += shard->contention.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 }  // namespace tc::cloud

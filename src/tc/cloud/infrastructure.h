@@ -1,10 +1,15 @@
 #ifndef TC_CLOUD_INFRASTRUCTURE_H_
 #define TC_CLOUD_INFRASTRUCTURE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "tc/common/bytes.h"
@@ -63,13 +68,38 @@ struct CloudStats {
 /// blobs, message envelopes, timing and sizes. The adversary acts *inside*
 /// this layer (it IS the provider); the E8 experiment measures how reliably
 /// the cells' cryptographic checks convict it.
+///
+/// Thread safety: every public method may be called concurrently. Blobs and
+/// message queues are sharded across lock-striped partitions (hash of blob
+/// id / recipient), counters are atomics snapshotted on read, and the
+/// adversary draws from one RNG stream per shard — so a *single-threaded*
+/// run is fully deterministic for a given seed, and a multi-threaded run is
+/// deterministic per shard given that shard's operation order (cross-shard
+/// interleaving never perturbs another shard's stream).
 class CloudInfrastructure {
  public:
+  struct Options {
+    size_t blob_shards = BlobStore::kDefaultShards;
+    size_t queue_shards = BlobStore::kDefaultShards;
+    /// Simulated provider round-trip charged to each blob/messaging
+    /// operation (once per *batch* for PutBlobBatch — the whole point of
+    /// client-side batching). 0 = in-process, no delay. Slept outside all
+    /// locks, so concurrent callers overlap their waits exactly as real
+    /// cells overlap WAN round-trips.
+    uint32_t op_latency_us = 0;
+  };
+
   explicit CloudInfrastructure(
       const AdversaryConfig& adversary = AdversaryConfig::Honest());
+  CloudInfrastructure(const AdversaryConfig& adversary,
+                      const Options& options);
 
   // ---- Blob storage ----
   uint64_t PutBlob(const std::string& id, const Bytes& data);
+  /// Stores a batch of blobs in one round-trip; returns versions in input
+  /// order. Shard locks are taken at most once per batch.
+  std::vector<uint64_t> PutBlobBatch(
+      const std::vector<std::pair<std::string, Bytes>>& items);
   /// Latest blob — possibly tampered or rolled back by the adversary.
   Result<Bytes> GetBlob(const std::string& id);
   Result<Bytes> GetBlobVersion(const std::string& id, uint64_t version);
@@ -85,22 +115,71 @@ class CloudInfrastructure {
   std::vector<Message> Receive(const std::string& recipient);
   size_t PendingCount(const std::string& recipient) const;
 
-  const CloudStats& stats() const { return stats_; }
-  const AdversaryStats& adversary_stats() const { return adversary_stats_; }
-  const AdversaryConfig& adversary_config() const { return adversary_; }
-  void set_adversary(const AdversaryConfig& config) { adversary_ = config; }
+  /// Consistent snapshots of the atomic counters.
+  CloudStats stats() const;
+  AdversaryStats adversary_stats() const;
+  AdversaryConfig adversary_config() const;
+  /// Swaps the adversary's behaviour. Does NOT reseed the per-shard RNG
+  /// streams (matching the single-RNG behaviour this class always had), so
+  /// flipping probabilities mid-run keeps the run reproducible.
+  void set_adversary(const AdversaryConfig& config);
 
   BlobStore& blob_store() { return blobs_; }
 
+  /// Contended lock acquisitions on blob shards / queue shards since
+  /// construction (fleet-bench contention probes).
+  uint64_t blob_lock_contention() const { return blobs_.lock_contention(); }
+  uint64_t queue_lock_contention() const;
+
  private:
+  /// Counters mirror CloudStats/AdversaryStats field-for-field; relaxed
+  /// atomics, merged into the plain structs by the snapshot accessors.
+  struct AtomicCloudStats {
+    std::atomic<uint64_t> blob_puts{0};
+    std::atomic<uint64_t> blob_gets{0};
+    std::atomic<uint64_t> messages_sent{0};
+    std::atomic<uint64_t> messages_delivered{0};
+    std::atomic<uint64_t> bytes_in{0};
+    std::atomic<uint64_t> bytes_out{0};
+  };
+  struct AtomicAdversaryStats {
+    std::atomic<uint64_t> reads_tampered{0};
+    std::atomic<uint64_t> reads_rolled_back{0};
+    std::atomic<uint64_t> messages_dropped{0};
+    std::atomic<uint64_t> messages_replayed{0};
+  };
+  /// Adversary RNG stream for one blob shard.
+  struct RngSlot {
+    std::mutex mu;
+    Rng rng;
+    explicit RngSlot(uint64_t seed) : rng(seed) {}
+  };
+  /// One stripe of the message bus: queues + replay history for every
+  /// recipient hashing here, plus this stripe's adversary RNG stream.
+  struct QueueShard {
+    mutable std::mutex mu;
+    mutable std::atomic<uint64_t> contention{0};
+    std::map<std::string, std::deque<Message>> queues;
+    std::map<std::string, std::vector<Message>> delivered_history;
+    Rng rng;
+    explicit QueueShard(uint64_t seed) : rng(seed) {}
+  };
+
+  size_t QueueShardIndex(const std::string& recipient) const;
+  std::unique_lock<std::mutex> LockQueueShard(const QueueShard& shard) const;
+  AdversaryConfig SnapshotAdversary() const;
+  /// Charges the simulated provider round-trip (outside any lock).
+  void ChargeLatency() const;
+
+  Options options_;
   BlobStore blobs_;
-  std::map<std::string, std::deque<Message>> queues_;
-  std::map<std::string, std::vector<Message>> delivered_history_;
-  AdversaryConfig adversary_;
-  AdversaryStats adversary_stats_;
-  CloudStats stats_;
-  Rng rng_;
-  uint64_t next_message_id_ = 1;
+  std::vector<std::unique_ptr<RngSlot>> blob_rngs_;    // one per blob shard.
+  std::vector<std::unique_ptr<QueueShard>> queue_shards_;
+  mutable std::shared_mutex adversary_mu_;
+  AdversaryConfig adversary_;              // guarded by adversary_mu_.
+  AtomicAdversaryStats adversary_stats_;
+  AtomicCloudStats stats_;
+  std::atomic<uint64_t> next_message_id_{1};
 };
 
 }  // namespace tc::cloud

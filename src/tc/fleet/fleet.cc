@@ -1,0 +1,181 @@
+#include "tc/fleet/fleet.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "tc/common/rng.h"
+
+namespace tc::fleet {
+namespace {
+
+// splitmix64 finalizer — one decorrelated workload stream per cell.
+uint64_t MixSeed(uint64_t seed, uint64_t cell) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (cell + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double ElapsedUs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  size_t index = static_cast<size_t>(p * (sorted.size() - 1));
+  return sorted[index];
+}
+
+std::string CellId(size_t index) {
+  return "fleet/cell" + std::to_string(index);
+}
+
+}  // namespace
+
+FleetRunner::FleetRunner(cloud::CloudInfrastructure* cloud,
+                         const FleetOptions& options)
+    : cloud_(cloud), options_(options) {}
+
+void FleetRunner::RunCell(size_t cell_index, FleetCellResult* result,
+                          std::vector<double>* put_latencies_us,
+                          std::vector<double>* get_latencies_us) {
+  Rng rng(MixSeed(options_.seed, cell_index));
+  result->cell_id = CellId(cell_index);
+
+  // The cell's view of its own acknowledged writes: latest version and
+  // payload per document. Only this cell writes its blob-id range, so an
+  // honest provider must reflect exactly this state back.
+  std::vector<uint64_t> acked_version(options_.docs_per_cell, 0);
+  std::vector<Bytes> acked_payload(options_.docs_per_cell);
+
+  std::vector<std::pair<std::string, Bytes>> batch;
+  for (size_t round = 0; round < options_.rounds_per_cell; ++round) {
+    // --- Batched sealed-blob push (one provider round-trip). ---
+    batch.clear();
+    for (size_t j = 0; j < options_.put_batch; ++j) {
+      size_t doc = (round * options_.put_batch + j) % options_.docs_per_cell;
+      batch.emplace_back(result->cell_id + "/doc" + std::to_string(doc),
+                         rng.NextBytes(options_.payload_bytes));
+    }
+    auto put_start = std::chrono::steady_clock::now();
+    std::vector<uint64_t> versions = cloud_->PutBlobBatch(batch);
+    put_latencies_us->push_back(ElapsedUs(put_start));
+    result->puts += batch.size();
+    for (size_t j = 0; j < batch.size(); ++j) {
+      size_t doc = (round * options_.put_batch + j) % options_.docs_per_cell;
+      if (versions[j] != acked_version[doc] + 1) {
+        result->status = Status::Internal(
+            result->cell_id + ": non-monotonic version for doc" +
+            std::to_string(doc) + ": got " + std::to_string(versions[j]) +
+            " after " + std::to_string(acked_version[doc]));
+        return;
+      }
+      acked_version[doc] = versions[j];
+      acked_payload[doc] = batch[j].second;
+    }
+
+    // --- Metadata-first pulls over the already-written range. ---
+    size_t written = std::min((round + 1) * options_.put_batch,
+                              options_.docs_per_cell);
+    for (size_t g = 0; g < options_.gets_per_round; ++g) {
+      size_t doc = rng.NextBelow(written);
+      std::string blob_id = result->cell_id + "/doc" + std::to_string(doc);
+      auto get_start = std::chrono::steady_clock::now();
+      auto data = cloud_->GetBlob(blob_id);
+      get_latencies_us->push_back(ElapsedUs(get_start));
+      ++result->gets;
+      if (!data.ok()) {
+        result->status = data.status();
+        return;
+      }
+      if (options_.verify_reads && *data != acked_payload[doc]) {
+        result->status = Status::IntegrityViolation(
+            result->cell_id + ": read of doc" + std::to_string(doc) +
+            " does not match the acknowledged write");
+        return;
+      }
+    }
+
+    // --- Bus traffic: occasional aggregate to a peer, drain own inbox. ---
+    if (options_.cells > 1 && rng.NextBernoulli(options_.send_prob)) {
+      size_t peer = rng.NextBelow(options_.cells - 1);
+      if (peer >= cell_index) ++peer;  // Never self.
+      cloud_->Send(result->cell_id, CellId(peer), "aggregate",
+                   rng.NextBytes(32));
+      ++result->sends;
+    }
+    result->messages_received += cloud_->Receive(result->cell_id).size();
+  }
+}
+
+Result<FleetReport> FleetRunner::Run() {
+  if (cloud_ == nullptr) {
+    return Status::InvalidArgument("fleet: null cloud");
+  }
+  if (options_.cells == 0 || options_.rounds_per_cell == 0 ||
+      options_.put_batch == 0 || options_.docs_per_cell == 0) {
+    return Status::InvalidArgument("fleet: empty workload");
+  }
+  if (options_.put_batch > options_.docs_per_cell) {
+    return Status::InvalidArgument(
+        "fleet: put_batch must not exceed docs_per_cell");
+  }
+
+  const uint64_t blob_contention_before = cloud_->blob_lock_contention();
+  const uint64_t queue_contention_before = cloud_->queue_lock_contention();
+
+  FleetReport report;
+  report.cells.resize(options_.cells);
+  std::vector<std::vector<double>> put_lat(options_.cells);
+  std::vector<std::vector<double>> get_lat(options_.cells);
+
+  WorkerPool::Options pool_options;
+  pool_options.threads = options_.threads;
+  pool_options.queue_capacity = options_.queue_capacity;
+  WorkerPool pool(pool_options);
+
+  auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < options_.cells; ++i) {
+    pool.Submit([this, i, &report, &put_lat, &get_lat] {
+      RunCell(i, &report.cells[i], &put_lat[i], &get_lat[i]);
+    });
+  }
+  pool.Wait();
+  report.wall_seconds = ElapsedUs(start) / 1e6;
+  pool.Shutdown();
+
+  std::vector<double> all_puts, all_gets;
+  for (size_t i = 0; i < options_.cells; ++i) {
+    const FleetCellResult& cell = report.cells[i];
+    if (cell.status.ok()) {
+      ++report.cells_ok;
+    } else {
+      ++report.cells_failed;
+    }
+    report.puts += cell.puts;
+    report.gets += cell.gets;
+    report.sends += cell.sends;
+    report.messages_received += cell.messages_received;
+    all_puts.insert(all_puts.end(), put_lat[i].begin(), put_lat[i].end());
+    all_gets.insert(all_gets.end(), get_lat[i].begin(), get_lat[i].end());
+  }
+  std::sort(all_puts.begin(), all_puts.end());
+  std::sort(all_gets.begin(), all_gets.end());
+  report.put_p50_us = Percentile(all_puts, 0.50);
+  report.put_p99_us = Percentile(all_puts, 0.99);
+  report.get_p50_us = Percentile(all_gets, 0.50);
+  report.get_p99_us = Percentile(all_gets, 0.99);
+  if (report.wall_seconds > 0) {
+    report.put_get_per_second =
+        static_cast<double>(report.puts + report.gets) / report.wall_seconds;
+  }
+  report.blob_lock_contention =
+      cloud_->blob_lock_contention() - blob_contention_before;
+  report.queue_lock_contention =
+      cloud_->queue_lock_contention() - queue_contention_before;
+  return report;
+}
+
+}  // namespace tc::fleet

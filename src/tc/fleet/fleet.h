@@ -1,0 +1,92 @@
+#ifndef TC_FLEET_FLEET_H_
+#define TC_FLEET_FLEET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tc/cloud/infrastructure.h"
+#include "tc/common/result.h"
+#include "tc/fleet/worker_pool.h"
+
+namespace tc::fleet {
+
+/// Workload knobs for one fleet run: K simulated cells driven concurrently
+/// against one shared CloudInfrastructure by a fixed-size worker pool.
+///
+/// Each simulated cell reproduces the *traffic pattern* of a TrustedCell's
+/// outsourcing path (sealed-blob pushes, metadata-first pulls, bus
+/// messages) without the per-cell TEE/flash machinery, which is what lets a
+/// single host drive Linky-scale fleets against the provider.
+struct FleetOptions {
+  size_t cells = 64;           ///< Simulated cells (one task each).
+  size_t threads = 4;          ///< Worker threads sharing the cells.
+  size_t queue_capacity = 128; ///< Bounded task-queue depth (backpressure).
+  size_t rounds_per_cell = 32; ///< Work rounds each cell performs.
+  size_t put_batch = 4;        ///< Blobs pushed per round, one batched put.
+  size_t gets_per_round = 4;   ///< Blob fetches per round.
+  size_t docs_per_cell = 32;   ///< Blob-id space each cell cycles through.
+  size_t payload_bytes = 256;  ///< Sealed-payload size.
+  double send_prob = 0.25;     ///< P(round also sends one bus message).
+  uint64_t seed = 1;           ///< Per-cell streams derive from this.
+  /// Re-reads each fetched blob against the cell's own acknowledged writes
+  /// and fails the cell on mismatch — the per-cell error-propagation path.
+  /// Leave off when running against a tampering adversary.
+  bool verify_reads = true;
+};
+
+/// Outcome of one simulated cell (error propagation is per cell: one
+/// failing cell never aborts the fleet).
+struct FleetCellResult {
+  std::string cell_id;
+  Status status = Status::OK();
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t sends = 0;
+  uint64_t messages_received = 0;
+};
+
+/// Aggregated fleet run: exact operation totals plus host-side timing.
+struct FleetReport {
+  size_t cells_ok = 0;
+  size_t cells_failed = 0;
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t sends = 0;
+  uint64_t messages_received = 0;
+  double wall_seconds = 0;
+  /// (puts + gets) / wall_seconds — the throughput metric E12 sweeps.
+  double put_get_per_second = 0;
+  // Latency of one batched put round-trip / one get, host microseconds.
+  double put_p50_us = 0, put_p99_us = 0;
+  double get_p50_us = 0, get_p99_us = 0;
+  uint64_t blob_lock_contention = 0;   // Delta over the run.
+  uint64_t queue_lock_contention = 0;  // Delta over the run.
+  std::vector<FleetCellResult> cells;
+};
+
+/// Runs a fleet workload to completion. The cloud outlives the runner and
+/// may be shared with other traffic; the report's contention counters are
+/// deltas over this run.
+class FleetRunner {
+ public:
+  FleetRunner(cloud::CloudInfrastructure* cloud, const FleetOptions& options);
+
+  /// Executes the whole fleet: submits one task per cell to the pool,
+  /// waits, shuts the pool down gracefully, and aggregates. Errors inside
+  /// a cell are captured in that cell's FleetCellResult; Run itself only
+  /// fails on configuration errors.
+  Result<FleetReport> Run();
+
+ private:
+  void RunCell(size_t cell_index, FleetCellResult* result,
+               std::vector<double>* put_latencies_us,
+               std::vector<double>* get_latencies_us);
+
+  cloud::CloudInfrastructure* cloud_;
+  FleetOptions options_;
+};
+
+}  // namespace tc::fleet
+
+#endif  // TC_FLEET_FLEET_H_

@@ -1,0 +1,72 @@
+#include "tc/fleet/worker_pool.h"
+
+#include <utility>
+
+namespace tc::fleet {
+
+WorkerPool::WorkerPool(const Options& options) : options_(options) {
+  if (options_.threads == 0) options_.threads = 1;
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  workers_.reserve(options_.threads);
+  for (size_t i = 0; i < options_.threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() { Shutdown(); }
+
+bool WorkerPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    space_available_.wait(lock, [this] {
+      return shutdown_ || queue_.size() < options_.queue_capacity;
+    });
+    if (shutdown_) return false;
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+  return true;
+}
+
+void WorkerPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void WorkerPool::Shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  space_available_.notify_all();
+  // Serializes concurrent Shutdown callers around the joins.
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void WorkerPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock,
+                           [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Shutdown with a drained queue.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    space_available_.notify_one();
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace tc::fleet

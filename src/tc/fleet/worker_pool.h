@@ -1,0 +1,67 @@
+#ifndef TC_FLEET_WORKER_POOL_H_
+#define TC_FLEET_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tc::fleet {
+
+/// A fixed-size worker pool with a bounded work queue — the execution
+/// substrate for running many simulated cells against one shared cloud.
+/// The bounded queue applies backpressure: Submit blocks once
+/// `queue_capacity` tasks are waiting, so a fleet driver can enqueue a
+/// million cell tasks without holding them all in memory.
+///
+/// Shutdown is graceful: already-queued tasks finish, then workers join.
+class WorkerPool {
+ public:
+  struct Options {
+    size_t threads = 4;
+    size_t queue_capacity = 256;
+  };
+
+  explicit WorkerPool(const Options& options);
+  /// Graceful: equivalent to Shutdown().
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Enqueues a task; blocks while the queue is at capacity. Returns false
+  /// (and drops the task) if the pool is shutting down.
+  bool Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle. Tasks
+  /// submitted concurrently with Wait may or may not be covered — the
+  /// intended pattern is: submit everything, then Wait.
+  void Wait();
+
+  /// Drains the queue, runs everything already submitted, joins workers.
+  /// Idempotent; Submit after Shutdown returns false.
+  void Shutdown();
+
+  size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  Options options_;
+  std::mutex mu_;
+  std::condition_variable work_available_;   // queue non-empty or shutdown.
+  std::condition_variable space_available_;  // queue below capacity.
+  std::condition_variable idle_;             // queue empty && none active.
+  std::deque<std::function<void()>> queue_;  // guarded by mu_.
+  size_t active_ = 0;                        // tasks currently running.
+  bool shutdown_ = false;
+  std::mutex join_mu_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tc::fleet
+
+#endif  // TC_FLEET_WORKER_POOL_H_

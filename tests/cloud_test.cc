@@ -37,6 +37,73 @@ TEST(BlobStoreTest, DeleteAndAccounting) {
   EXPECT_FALSE(store.Delete("a").ok());
 }
 
+TEST(BlobStoreTest, TotalBytesPinnedThroughPutPutDelete) {
+  // Pins the byte accounting through a full Put/Put/Delete cycle, with an
+  // unrelated blob alive to catch over-subtraction: deleting a blob must
+  // remove the bytes of *all* its versions, and only those.
+  BlobStore store;
+  store.Put("other", Bytes(7));
+  EXPECT_EQ(store.total_bytes(), 7u);
+  store.Put("a", Bytes(100));
+  EXPECT_EQ(store.total_bytes(), 107u);
+  store.Put("a", Bytes(50));
+  EXPECT_EQ(store.total_bytes(), 157u);
+  ASSERT_TRUE(store.Delete("a").ok());
+  EXPECT_EQ(store.total_bytes(), 7u);
+  EXPECT_EQ(store.blob_count(), 1u);
+}
+
+TEST(BlobStoreTest, MutateLatestKeepsAccountingInSync) {
+  // The old raw-pointer accessor (MutableLatest) let the adversary resize a
+  // payload behind the store's back, silently corrupting total_bytes().
+  BlobStore store;
+  store.Put("a", Bytes(100, 0xAA));
+  store.Put("a", Bytes(60, 0xBB));
+  ASSERT_EQ(store.total_bytes(), 160u);
+  // In-place flip: size unchanged.
+  ASSERT_TRUE(store.MutateLatest("a", [](Bytes& b) { b[0] ^= 0xFF; }).ok());
+  EXPECT_EQ(store.total_bytes(), 160u);
+  // Truncation: accounting follows.
+  ASSERT_TRUE(store.MutateLatest("a", [](Bytes& b) { b.resize(10); }).ok());
+  EXPECT_EQ(store.total_bytes(), 110u);
+  // Growth: accounting follows.
+  ASSERT_TRUE(
+      store.MutateLatest("a", [](Bytes& b) { b.resize(200, 0xCC); }).ok());
+  EXPECT_EQ(store.total_bytes(), 300u);
+  // Only the latest version is touched.
+  EXPECT_EQ(store.GetVersion("a", 1)->size(), 100u);
+  // Delete after mutation subtracts the *current* sizes exactly.
+  ASSERT_TRUE(store.Delete("a").ok());
+  EXPECT_EQ(store.total_bytes(), 0u);
+  EXPECT_FALSE(store.MutateLatest("missing", [](Bytes&) {}).ok());
+}
+
+TEST(BlobStoreTest, ShardedStoreBehavesLikeOneStore) {
+  // Same operation sequence against 1 shard and 13 shards (coprime with
+  // nothing in particular) must be observationally identical.
+  BlobStore one(1);
+  BlobStore many(13);
+  for (int i = 0; i < 200; ++i) {
+    std::string id = "space/cell" + std::to_string(i % 17) + "/doc" +
+                     std::to_string(i);
+    for (BlobStore* store : {&one, &many}) store->Put(id, Bytes(i % 32, 1));
+  }
+  EXPECT_EQ(one.blob_count(), many.blob_count());
+  EXPECT_EQ(one.total_bytes(), many.total_bytes());
+  EXPECT_EQ(one.List("space/cell7/"), many.List("space/cell7/"));
+  EXPECT_EQ(one.List(""), many.List(""));
+}
+
+TEST(BlobStoreTest, PutBatchAssignsVersionsInInputOrder) {
+  BlobStore store(4);
+  std::vector<std::pair<std::string, Bytes>> batch;
+  for (int i = 0; i < 10; ++i) batch.emplace_back("k", Bytes{uint8_t(i)});
+  std::vector<uint64_t> versions = store.PutBatch(batch);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(versions[i], uint64_t(i) + 1);
+  EXPECT_EQ(*store.Get("k"), Bytes{uint8_t(9)});
+  EXPECT_EQ(store.total_bytes(), 10u);
+}
+
 TEST(CloudTest, HonestMessaging) {
   CloudInfrastructure cloud;
   cloud.Send("alice", "bob", "greeting", ToBytes("hi"));
@@ -115,6 +182,43 @@ TEST(CloudTest, ReplayAdversaryRedeliversOldMessages) {
   ASSERT_GE(replayed.size(), 1u);
   EXPECT_EQ(ToString(replayed[0].payload), "m1");
   EXPECT_GE(cloud.adversary_stats().messages_replayed, 1u);
+}
+
+TEST(CloudTest, AdversaryIsDeterministicForAFixedSeed) {
+  // Regression: the same AdversaryConfig::seed must yield bit-identical
+  // AdversaryStats across two single-threaded runs of the same workload.
+  // (Multi-threaded runs are deterministic *per shard*: each shard owns an
+  // RNG stream keyed by seed+shard, so only the operation order within one
+  // shard — never cross-shard interleaving — affects its draws.)
+  auto run = [] {
+    AdversaryConfig adversary;
+    adversary.tamper_read_prob = 0.3;
+    adversary.rollback_read_prob = 0.3;
+    adversary.drop_message_prob = 0.25;
+    adversary.replay_message_prob = 0.25;
+    adversary.seed = 99;
+    CloudInfrastructure cloud(adversary);
+    Rng workload(5);
+    for (int i = 0; i < 500; ++i) {
+      std::string key = "k" + std::to_string(workload.NextBelow(8));
+      cloud.PutBlob(key, workload.NextBytes(24));
+      (void)cloud.GetBlob(key);
+      std::string to = "cell" + std::to_string(workload.NextBelow(4));
+      cloud.Send("sender", to, "t", workload.NextBytes(8));
+      (void)cloud.Receive(to);
+    }
+    return cloud.adversary_stats();
+  };
+  AdversaryStats first = run();
+  AdversaryStats second = run();
+  EXPECT_GT(first.reads_tampered, 0u);
+  EXPECT_GT(first.reads_rolled_back, 0u);
+  EXPECT_GT(first.messages_dropped, 0u);
+  EXPECT_GT(first.messages_replayed, 0u);
+  EXPECT_EQ(first.reads_tampered, second.reads_tampered);
+  EXPECT_EQ(first.reads_rolled_back, second.reads_rolled_back);
+  EXPECT_EQ(first.messages_dropped, second.messages_dropped);
+  EXPECT_EQ(first.messages_replayed, second.messages_replayed);
 }
 
 TEST(CloudTest, ProbabilisticAdversaryRatesRoughlyMatch) {
