@@ -11,8 +11,10 @@
 //     global lock; contention counters),
 //   * fleet-size sweep (cells >> threads through the bounded work queue).
 //
-// Op-count columns are deterministic; wall-clock / ops/s / latency columns
-// vary run to run (host measurement).
+// Latency percentiles (p50/p95/p99) are sourced from the tc::obs registry
+// histograms (`fleet.put_batch_us` / `fleet.get_us`), delta-scoped to each
+// run — not ad-hoc wall-clock vectors. Op-count columns are deterministic;
+// wall-clock / ops/s / latency columns vary run to run (host measurement).
 
 #include <cstdio>
 
@@ -69,20 +71,21 @@ RunOutcome RunOnce(const FleetOptions& options,
 }
 
 void PrintRow(const char* label, const FleetReport& r, double baseline_ops) {
-  std::printf("%8s %8llu %8llu %8llu %10.0f %8.2fx %9.0f %9.0f %9.0f %9.0f "
-              "%7llu %7llu\n",
+  std::printf("%8s %8llu %8llu %8llu %10.0f %8.2fx "
+              "%7.0f %7.0f %7.0f %7.0f %7.0f %7.0f %7llu %7llu\n",
               label, static_cast<unsigned long long>(r.puts),
               static_cast<unsigned long long>(r.gets),
               static_cast<unsigned long long>(r.sends), r.put_get_per_second,
               baseline_ops > 0 ? r.put_get_per_second / baseline_ops : 1.0,
-              r.put_p50_us, r.put_p99_us, r.get_p50_us, r.get_p99_us,
+              r.put_latency.p50_us, r.put_latency.p95_us, r.put_latency.p99_us,
+              r.get_latency.p50_us, r.get_latency.p95_us, r.get_latency.p99_us,
               static_cast<unsigned long long>(r.blob_lock_contention),
               static_cast<unsigned long long>(r.queue_lock_contention));
 }
 
 const char* kHeader =
-    "  config     puts     gets    sends   putget/s  speedup   put-p50"
-    "   put-p99   get-p50   get-p99  b-cont  q-cont\n";
+    "  config     puts     gets    sends   putget/s  speedup "
+    " putp50  putp95  putp99  getp50  getp95  getp99  b-cont  q-cont\n";
 
 }  // namespace
 
@@ -152,6 +155,10 @@ int main() {
   }
 
   std::printf("\nall cells verified every read against their own acked "
-              "writes; timing columns are host measurements.\n");
+              "writes; timing columns are host measurements.\n"
+              "latency percentiles come from the tc::obs registry histograms "
+              "(fleet.put_batch_us / fleet.get_us), p50/p95/p99 in us,\n"
+              "put = one whole batched round-trip. bucket resolution bounds "
+              "percentile error at 25%% of the value.\n");
   return 0;
 }

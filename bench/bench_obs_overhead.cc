@@ -1,0 +1,128 @@
+// tc::obs overhead micro-bench.
+//
+// Two questions, answered in order:
+//
+//   1. What do the primitives cost in isolation? (ns per Counter increment
+//      and Histogram record, enabled vs disabled — the disabled path is the
+//      single relaxed load that serves as the "no-op registry".)
+//   2. What does instrumentation cost on a REAL hot path? LogStore Put/Get
+//      over simulated flash is the most densely instrumented path in the
+//      tree (append/get histograms + three flash gauges refreshed per op).
+//      The acceptance bar: enabled must be within 5% of the no-op-registry
+//      throughput.
+//
+// Primitive costs are a few ns and look enormous in relative terms against
+// an empty loop; that is why the bar is set on the instrumented *workload*,
+// where the metric cost is amortized against real work, not on the
+// primitives themselves.
+
+#include <chrono>
+#include <cstdio>
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "tc/common/rng.h"
+#include "tc/obs/metrics.h"
+#include "tc/storage/flash_device.h"
+#include "tc/storage/log_store.h"
+#include "tc/storage/page_transform.h"
+
+using namespace tc;           // NOLINT — benchmark brevity.
+using namespace tc::storage;  // NOLINT
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+FlashGeometry Geometry() {
+  FlashGeometry geo;
+  geo.page_size = 2048;
+  geo.pages_per_block = 32;
+  geo.block_count = 128;
+  return geo;
+}
+
+// One full LogStore workload: kKeys puts then kKeys gets, on a fresh
+// store. Returns ops/second. Every Put/Get passes through the storage.*
+// histograms and flash gauges when obs is enabled.
+double RunStoreWorkload(int keys) {
+  FlashDevice flash(Geometry());
+  PlainPageTransform plain;
+  LogStoreOptions options;
+  options.ram_budget_bytes = 8 << 20;
+  auto store = *LogStore::Open(&flash, &plain, options);
+  Rng rng(7);
+  Bytes value = rng.NextBytes(200);
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < keys; ++i) {
+    TC_CHECK(store->Put("key" + std::to_string(i), value).ok());
+  }
+  for (int i = 0; i < keys; ++i) {
+    TC_CHECK(store->Get("key" + std::to_string(i)).ok());
+  }
+  return 2.0 * keys / SecondsSince(t0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== tc::obs overhead ===\n");
+
+  // ---- Primitive costs ----
+  obs::Counter& counter =
+      obs::MetricRegistry::Global().GetCounter("bench.obs.counter");
+  obs::Histogram& hist =
+      obs::MetricRegistry::Global().GetHistogram("bench.obs.hist");
+  const int kPrimOps = 10'000'000;
+
+  std::printf("\nprimitive cost (%d ops each):\n", kPrimOps);
+  for (bool enabled : {true, false}) {
+    obs::SetEnabled(enabled);
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kPrimOps; ++i) counter.Increment();
+    double counter_ns = SecondsSince(t0) * 1e9 / kPrimOps;
+    t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kPrimOps; ++i) {
+      hist.Record(static_cast<uint64_t>(i & 0xffff));
+    }
+    double record_ns = SecondsSince(t0) * 1e9 / kPrimOps;
+    std::printf("  %-9s counter.Increment %5.1f ns   histogram.Record "
+                "%5.1f ns\n",
+                enabled ? "enabled:" : "disabled:", counter_ns, record_ns);
+  }
+
+  // ---- Instrumented hot path: LogStore Put/Get ----
+  const int kKeys = 20'000;
+  const int kReps = 5;
+  std::printf("\nLogStore Put+Get workload (%d ops, best of %d, "
+              "200 B values, plain transform):\n",
+              2 * kKeys, kReps);
+
+  // Interleave the two configurations and keep the best of each, so CPU
+  // frequency ramp / cache warmup hits both sides equally rather than
+  // whichever ran first.
+  obs::SetEnabled(true);
+  RunStoreWorkload(kKeys);  // Warmup, discarded.
+  double ops_disabled = 0, ops_enabled = 0;
+  for (int i = 0; i < kReps; ++i) {
+    obs::SetEnabled(false);
+    ops_disabled = std::max(ops_disabled, RunStoreWorkload(kKeys));
+    obs::SetEnabled(true);
+    ops_enabled = std::max(ops_enabled, RunStoreWorkload(kKeys));
+  }
+
+  double overhead_pct = 100.0 * (ops_disabled - ops_enabled) / ops_disabled;
+  std::printf("  no-op registry (disabled): %10.0f ops/s\n", ops_disabled);
+  std::printf("  instrumented   (enabled):  %10.0f ops/s\n", ops_enabled);
+  std::printf("  overhead: %.2f%%  (acceptance bar: < 5%%)  %s\n",
+              overhead_pct, overhead_pct < 5.0 ? "PASS" : "FAIL");
+
+  std::printf("\nthe hot path touches only pre-resolved relaxed atomics; the "
+              "disabled\npath is one relaxed bool load. Registry lookups "
+              "happen once, at\ncomponent construction.\n");
+  return overhead_pct < 5.0 ? 0 : 1;
+}

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Fails if any generated build tree (build/, build-asan/, build-tsan/, ...)
+# is tracked or staged. PR 2 accidentally committed ~945 CMake depend files
+# under build/; this guard keeps that class of diff pollution out for good.
+# Run it alongside the tier-1 verify (see ROADMAP.md).
+set -eu
+cd "$(dirname "$0")/.."
+
+# Staged deletions are fine (that's how the tree gets cleaned up), hence
+# --diff-filter=d to exclude them.
+bad=$({ git ls-files; git diff --cached --name-only --diff-filter=d; } \
+      | grep -E '^build[^/]*/' | sort -u || true)
+if [ -n "$bad" ]; then
+  count=$(printf '%s\n' "$bad" | wc -l)
+  echo "check_tree_clean: $count tracked/staged path(s) under build*/:" >&2
+  printf '%s\n' "$bad" | head -20 >&2
+  [ "$count" -gt 20 ] && echo "  ... and $((count - 20)) more" >&2
+  echo "fix: git rm -r --cached <dir>  (build trees are gitignored)" >&2
+  exit 1
+fi
+echo "check_tree_clean: OK (no build*/ paths tracked or staged)"

@@ -1,5 +1,7 @@
 #include "tc/cell/cell.h"
 
+#include "tc/obs/trace.h"
+
 #include <algorithm>
 
 #include "tc/common/codec.h"
@@ -142,6 +144,15 @@ policy::Policy MakeOwnerPolicy(const std::string& owner) {
   p.rules = {rule};
   return p;
 }
+
+TrustedCell::Metrics::Metrics()
+    : seal_us(obs::MetricRegistry::Global().GetHistogram("cell.seal_us")),
+      unseal_us(obs::MetricRegistry::Global().GetHistogram("cell.unseal_us")),
+      reads_allowed(obs::MetricRegistry::Global().GetCounter(
+          "cell.policy.reads_allowed")),
+      reads_denied(obs::MetricRegistry::Global().GetCounter(
+          "cell.policy.reads_denied")),
+      incidents(obs::MetricRegistry::Global().GetCounter("cell.incidents")) {}
 
 TrustedCell::TrustedCell(const Config& config,
                          cloud::CloudInfrastructure* cloud,
@@ -294,6 +305,11 @@ void TrustedCell::RecordIncident(IncidentType type,
                                  const std::string& object_id,
                                  const std::string& detail) {
   incidents_.push_back(SecurityIncident{type, object_id, detail});
+  metrics_.incidents.Increment();
+  obs::TraceRing::Global().Emit(
+      obs::TraceKind::kInstant, "cell",
+      "incident/" + std::to_string(static_cast<int>(type)),
+      config_.cell_id + " " + object_id);
 }
 
 // ---- Controlled collection ----
@@ -357,9 +373,11 @@ Result<std::string> TrustedCell::StoreDocument(const std::string& title,
   meta.blob_id = SpaceBlobId(doc_id);
   meta.key_name = key_name;
 
+  obs::Stopwatch seal_timer;
   TC_ASSIGN_OR_RETURN(
       Bytes sealed,
       tee_->Seal(key_name, DocumentAad(doc_id, meta.version, {}), content));
+  metrics_.seal_us.Record(seal_timer.ElapsedUs());
   cloud_->PutBlob(meta.blob_id, sealed);
   TC_RETURN_IF_ERROR(SaveMeta(meta, /*is_new=*/true));
   ++stats_.documents_stored;
@@ -375,19 +393,23 @@ Status TrustedCell::UpdateDocument(const std::string& doc_id,
   }
   ++meta.version;
   meta.size = content.size();
+  obs::Stopwatch seal_timer;
   TC_ASSIGN_OR_RETURN(
       Bytes sealed,
       tee_->Seal(meta.key_name, DocumentAad(doc_id, meta.version, {}),
                  content));
+  metrics_.seal_us.Record(seal_timer.ElapsedUs());
   cloud_->PutBlob(meta.blob_id, sealed);
   return SaveMeta(meta, /*is_new=*/false);
 }
 
 Result<Bytes> TrustedCell::FetchAndOpen(const DocumentMeta& meta) {
   TC_ASSIGN_OR_RETURN(Bytes blob, cloud_->GetBlob(meta.blob_id));
+  obs::Stopwatch unseal_timer;
   auto payload =
       tee_->Open(meta.key_name, DocumentAad(meta.doc_id, meta.version, {}),
                  blob);
+  metrics_.unseal_us.Record(unseal_timer.ElapsedUs());
   if (payload.ok()) return payload;
   if (payload.status().IsIntegrityViolation()) {
     // Distinguish rollback (an older version served as latest) from blind
@@ -434,11 +456,13 @@ Result<Bytes> TrustedCell::FetchDocument(const std::string& doc_id,
       decision.allowed ? decision.rule_id : decision.reason}));
   if (!decision.allowed) {
     ++stats_.reads_denied;
+    metrics_.reads_denied.Increment();
     return Status::PermissionDenied(decision.reason);
   }
   TC_ASSIGN_OR_RETURN(Bytes payload, FetchAndOpen(meta));
   ++stats_.documents_fetched;
   ++stats_.reads_allowed;
+  metrics_.reads_allowed.Increment();
   return payload;
 }
 
@@ -751,6 +775,7 @@ Result<Bytes> TrustedCell::ReadSharedDocument(
       decision.allowed ? decision.rule_id : decision.reason}));
   if (!decision.allowed) {
     ++stats_.reads_denied;
+    metrics_.reads_denied.Increment();
     return Status::PermissionDenied(decision.reason);
   }
 
@@ -787,6 +812,7 @@ Result<Bytes> TrustedCell::ReadSharedDocument(
     }
   }
   ++stats_.reads_allowed;
+  metrics_.reads_allowed.Increment();
   ++stats_.documents_fetched;
   return payload;
 }

@@ -14,6 +14,7 @@
 #include "tc/crypto/merkle.h"
 #include "tc/db/database.h"
 #include "tc/db/timeseries.h"
+#include "tc/obs/metrics.h"
 #include "tc/policy/audit.h"
 #include "tc/policy/sticky_policy.h"
 #include "tc/policy/ucon.h"
@@ -112,6 +113,13 @@ struct CellStats {
 /// secure sharing (ShareDocument / ProcessInbox / ReadSharedDocument),
 /// usage & accountability (sticky policies + audit log + notifications),
 /// and shared commons (ProvideAggregateValue feeding tc::compute).
+///
+/// Observability (tc::obs global registry, aggregated across cells):
+///   cell.seal_us / cell.unseal_us    histograms, TEE AEAD cost per doc
+///   cell.policy.reads_allowed /
+///   cell.policy.reads_denied         counters, UCON decisions
+///   cell.incidents                   counter (+ a trace instant carrying
+///                                    the cell id and incident detail)
 class TrustedCell {
  public:
   struct Config {
@@ -322,6 +330,17 @@ class TrustedCell {
                                         Timestamp t0, Timestamp t1);
 
  private:
+  /// Registry handles resolved once per cell; hot path touches only the
+  /// relaxed atomics inside.
+  struct Metrics {
+    Metrics();
+    obs::Histogram& seal_us;
+    obs::Histogram& unseal_us;
+    obs::Counter& reads_allowed;
+    obs::Counter& reads_denied;
+    obs::Counter& incidents;
+  };
+
   TrustedCell(const Config& config, cloud::CloudInfrastructure* cloud,
               CellDirectory* directory, const Clock* clock);
   Status Init();
@@ -359,6 +378,7 @@ class TrustedCell {
   std::vector<cloud::Message> pending_messages_;
   uint64_t next_doc_number_ = 1;
   uint64_t next_grant_number_ = 1;
+  Metrics metrics_;
   CellStats stats_;
   std::vector<SecurityIncident> incidents_;
 };

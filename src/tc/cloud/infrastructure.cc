@@ -17,6 +17,27 @@ uint64_t MixSeed(uint64_t seed, uint64_t shard) {
 
 }  // namespace
 
+CloudInfrastructure::Metrics::Metrics()
+    : put_us(obs::MetricRegistry::Global().GetHistogram("cloud.put_us")),
+      put_batch_us(
+          obs::MetricRegistry::Global().GetHistogram("cloud.put_batch_us")),
+      get_us(obs::MetricRegistry::Global().GetHistogram("cloud.get_us")),
+      send_us(obs::MetricRegistry::Global().GetHistogram("cloud.send_us")),
+      receive_us(
+          obs::MetricRegistry::Global().GetHistogram("cloud.receive_us")),
+      reads_tampered(obs::MetricRegistry::Global().GetCounter(
+          "cloud.adversary.reads_tampered")),
+      reads_rolled_back(obs::MetricRegistry::Global().GetCounter(
+          "cloud.adversary.reads_rolled_back")),
+      messages_dropped(obs::MetricRegistry::Global().GetCounter(
+          "cloud.adversary.messages_dropped")),
+      messages_replayed(obs::MetricRegistry::Global().GetCounter(
+          "cloud.adversary.messages_replayed")),
+      blob_lock_contention(obs::MetricRegistry::Global().GetGauge(
+          "cloud.blob_lock_contention")),
+      queue_lock_contention(obs::MetricRegistry::Global().GetGauge(
+          "cloud.queue_lock_contention")) {}
+
 CloudInfrastructure::CloudInfrastructure(const AdversaryConfig& adversary)
     : CloudInfrastructure(adversary, Options{}) {}
 
@@ -73,6 +94,7 @@ void CloudInfrastructure::ChargeLatency() const {
 
 uint64_t CloudInfrastructure::PutBlob(const std::string& id,
                                       const Bytes& data) {
+  obs::ScopedTimer timer(&metrics_.put_us);
   ChargeLatency();
   stats_.blob_puts.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_in.fetch_add(data.size(), std::memory_order_relaxed);
@@ -81,6 +103,7 @@ uint64_t CloudInfrastructure::PutBlob(const std::string& id,
 
 std::vector<uint64_t> CloudInfrastructure::PutBlobBatch(
     const std::vector<std::pair<std::string, Bytes>>& items) {
+  obs::ScopedTimer timer(&metrics_.put_batch_us);
   ChargeLatency();  // One round-trip for the whole batch.
   uint64_t bytes = 0;
   for (const auto& [id, data] : items) bytes += data.size();
@@ -90,6 +113,7 @@ std::vector<uint64_t> CloudInfrastructure::PutBlobBatch(
 }
 
 Result<Bytes> CloudInfrastructure::GetBlob(const std::string& id) {
+  obs::ScopedTimer timer(&metrics_.get_us);
   ChargeLatency();
   stats_.blob_gets.fetch_add(1, std::memory_order_relaxed);
   const AdversaryConfig adversary = SnapshotAdversary();
@@ -105,6 +129,7 @@ Result<Bytes> CloudInfrastructure::GetBlob(const std::string& id) {
         rng_lock.unlock();
         adversary_stats_.reads_rolled_back.fetch_add(
             1, std::memory_order_relaxed);
+        metrics_.reads_rolled_back.Increment();
         TC_ASSIGN_OR_RETURN(Bytes data, blobs_.GetVersion(id, stale));
         stats_.bytes_out.fetch_add(data.size(), std::memory_order_relaxed);
         return data;
@@ -120,6 +145,7 @@ Result<Bytes> CloudInfrastructure::GetBlob(const std::string& id) {
     std::unique_lock<std::mutex> rng_lock(rng_slot.mu);
     if (rng_slot.rng.NextBernoulli(adversary.tamper_read_prob)) {
       adversary_stats_.reads_tampered.fetch_add(1, std::memory_order_relaxed);
+      metrics_.reads_tampered.Increment();
       size_t flips = 1 + rng_slot.rng.NextBelow(3);
       for (size_t i = 0; i < flips; ++i) {
         data[rng_slot.rng.NextBelow(data.size())] ^=
@@ -133,6 +159,7 @@ Result<Bytes> CloudInfrastructure::GetBlob(const std::string& id) {
 
 Result<Bytes> CloudInfrastructure::GetBlobVersion(const std::string& id,
                                                   uint64_t version) {
+  obs::ScopedTimer timer(&metrics_.get_us);
   ChargeLatency();
   stats_.blob_gets.fetch_add(1, std::memory_order_relaxed);
   TC_ASSIGN_OR_RETURN(Bytes data, blobs_.GetVersion(id, version));
@@ -158,6 +185,7 @@ uint64_t CloudInfrastructure::Send(const std::string& from,
                                    const std::string& to,
                                    const std::string& topic,
                                    const Bytes& payload) {
+  obs::ScopedTimer timer(&metrics_.send_us);
   ChargeLatency();
   stats_.messages_sent.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_in.fetch_add(payload.size(), std::memory_order_relaxed);
@@ -172,6 +200,7 @@ uint64_t CloudInfrastructure::Send(const std::string& from,
   if (adversary.drop_message_prob > 0 &&
       shard.rng.NextBernoulli(adversary.drop_message_prob)) {
     adversary_stats_.messages_dropped.fetch_add(1, std::memory_order_relaxed);
+    metrics_.messages_dropped.Increment();
     return id;
   }
   shard.queues[to].push_back(std::move(msg));
@@ -180,6 +209,7 @@ uint64_t CloudInfrastructure::Send(const std::string& from,
 
 std::vector<Message> CloudInfrastructure::Receive(
     const std::string& recipient) {
+  obs::ScopedTimer timer(&metrics_.receive_us);
   ChargeLatency();
   const AdversaryConfig adversary = SnapshotAdversary();
   std::vector<Message> out;
@@ -199,6 +229,7 @@ std::vector<Message> CloudInfrastructure::Receive(
         shard.rng.NextBernoulli(adversary.replay_message_prob)) {
       adversary_stats_.messages_replayed.fetch_add(1,
                                                    std::memory_order_relaxed);
+      metrics_.messages_replayed.Increment();
       out.push_back(history[shard.rng.NextBelow(history.size())]);
     }
     history.insert(history.end(), out.begin(), out.end());
@@ -223,6 +254,12 @@ size_t CloudInfrastructure::PendingCount(const std::string& recipient) const {
 }
 
 CloudStats CloudInfrastructure::stats() const {
+  // Refresh the contention gauges on the snapshot path (keeping the
+  // try-lock hot path free of extra stores).
+  metrics_.blob_lock_contention.Set(
+      static_cast<int64_t>(blobs_.lock_contention()));
+  metrics_.queue_lock_contention.Set(
+      static_cast<int64_t>(queue_lock_contention()));
   CloudStats out;
   out.blob_puts = stats_.blob_puts.load(std::memory_order_relaxed);
   out.blob_gets = stats_.blob_gets.load(std::memory_order_relaxed);

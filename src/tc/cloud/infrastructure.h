@@ -16,6 +16,7 @@
 #include "tc/common/result.h"
 #include "tc/common/rng.h"
 #include "tc/cloud/blob_store.h"
+#include "tc/obs/metrics.h"
 
 namespace tc::cloud {
 
@@ -76,6 +77,14 @@ struct CloudStats {
 /// run is fully deterministic for a given seed, and a multi-threaded run is
 /// deterministic per shard given that shard's operation order (cross-shard
 /// interleaving never perturbs another shard's stream).
+///
+/// Observability (tc::obs global registry):
+///   cloud.put_us / cloud.put_batch_us / cloud.get_us /
+///   cloud.send_us / cloud.receive_us        histograms, per-op latency
+///                                           (includes simulated RTT)
+///   cloud.adversary.*                       counters, ground-truth events
+///   cloud.blob_lock_contention /
+///   cloud.queue_lock_contention             gauges, refreshed by stats()
 class CloudInfrastructure {
  public:
   struct Options {
@@ -165,6 +174,23 @@ class CloudInfrastructure {
     explicit QueueShard(uint64_t seed) : rng(seed) {}
   };
 
+  /// Latency histograms + adversary counters resolved once from the global
+  /// registry; the hot path only touches their relaxed atomics.
+  struct Metrics {
+    Metrics();
+    obs::Histogram& put_us;
+    obs::Histogram& put_batch_us;
+    obs::Histogram& get_us;
+    obs::Histogram& send_us;
+    obs::Histogram& receive_us;
+    obs::Counter& reads_tampered;
+    obs::Counter& reads_rolled_back;
+    obs::Counter& messages_dropped;
+    obs::Counter& messages_replayed;
+    obs::Gauge& blob_lock_contention;
+    obs::Gauge& queue_lock_contention;
+  };
+
   size_t QueueShardIndex(const std::string& recipient) const;
   std::unique_lock<std::mutex> LockQueueShard(const QueueShard& shard) const;
   AdversaryConfig SnapshotAdversary() const;
@@ -172,6 +198,7 @@ class CloudInfrastructure {
   void ChargeLatency() const;
 
   Options options_;
+  Metrics metrics_;
   BlobStore blobs_;
   std::vector<std::unique_ptr<RngSlot>> blob_rngs_;    // one per blob shard.
   std::vector<std::unique_ptr<QueueShard>> queue_shards_;

@@ -1,9 +1,9 @@
 #include "tc/fleet/fleet.h"
 
-#include <algorithm>
 #include <chrono>
 
 #include "tc/common/rng.h"
+#include "tc/obs/trace.h"
 
 namespace tc::fleet {
 namespace {
@@ -16,31 +16,34 @@ uint64_t MixSeed(uint64_t seed, uint64_t cell) {
   return z ^ (z >> 31);
 }
 
-double ElapsedUs(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::micro>(
-             std::chrono::steady_clock::now() - start)
-      .count();
-}
-
-double Percentile(std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0;
-  size_t index = static_cast<size_t>(p * (sorted.size() - 1));
-  return sorted[index];
-}
-
 std::string CellId(size_t index) {
   return "fleet/cell" + std::to_string(index);
+}
+
+FleetLatency ExtractLatency(const obs::HistogramSnapshot& after,
+                            const obs::HistogramSnapshot& before) {
+  obs::HistogramSnapshot delta = after.Minus(before);
+  FleetLatency out;
+  out.count = delta.count;
+  out.p50_us = delta.Percentile(0.50);
+  out.p95_us = delta.Percentile(0.95);
+  out.p99_us = delta.Percentile(0.99);
+  out.max_us = static_cast<double>(delta.max);
+  out.mean_us = delta.Mean();
+  return out;
 }
 
 }  // namespace
 
 FleetRunner::FleetRunner(cloud::CloudInfrastructure* cloud,
                          const FleetOptions& options)
-    : cloud_(cloud), options_(options) {}
+    : cloud_(cloud),
+      options_(options),
+      put_batch_us_(
+          obs::MetricRegistry::Global().GetHistogram("fleet.put_batch_us")),
+      get_us_(obs::MetricRegistry::Global().GetHistogram("fleet.get_us")) {}
 
-void FleetRunner::RunCell(size_t cell_index, FleetCellResult* result,
-                          std::vector<double>* put_latencies_us,
-                          std::vector<double>* get_latencies_us) {
+void FleetRunner::RunCell(size_t cell_index, FleetCellResult* result) {
   Rng rng(MixSeed(options_.seed, cell_index));
   result->cell_id = CellId(cell_index);
 
@@ -59,9 +62,11 @@ void FleetRunner::RunCell(size_t cell_index, FleetCellResult* result,
       batch.emplace_back(result->cell_id + "/doc" + std::to_string(doc),
                          rng.NextBytes(options_.payload_bytes));
     }
-    auto put_start = std::chrono::steady_clock::now();
-    std::vector<uint64_t> versions = cloud_->PutBlobBatch(batch);
-    put_latencies_us->push_back(ElapsedUs(put_start));
+    std::vector<uint64_t> versions;
+    {
+      obs::ScopedTimer put_timer(&put_batch_us_);
+      versions = cloud_->PutBlobBatch(batch);
+    }
     result->puts += batch.size();
     for (size_t j = 0; j < batch.size(); ++j) {
       size_t doc = (round * options_.put_batch + j) % options_.docs_per_cell;
@@ -82,9 +87,9 @@ void FleetRunner::RunCell(size_t cell_index, FleetCellResult* result,
     for (size_t g = 0; g < options_.gets_per_round; ++g) {
       size_t doc = rng.NextBelow(written);
       std::string blob_id = result->cell_id + "/doc" + std::to_string(doc);
-      auto get_start = std::chrono::steady_clock::now();
+      obs::Stopwatch get_timer;
       auto data = cloud_->GetBlob(blob_id);
-      get_latencies_us->push_back(ElapsedUs(get_start));
+      get_us_.Record(get_timer.ElapsedUs());
       ++result->gets;
       if (!data.ok()) {
         result->status = data.status();
@@ -123,13 +128,15 @@ Result<FleetReport> FleetRunner::Run() {
         "fleet: put_batch must not exceed docs_per_cell");
   }
 
+  obs::TraceSpan run_span("fleet", "run",
+                          std::to_string(options_.cells) + " cells");
   const uint64_t blob_contention_before = cloud_->blob_lock_contention();
   const uint64_t queue_contention_before = cloud_->queue_lock_contention();
+  const obs::HistogramSnapshot put_before = put_batch_us_.Snapshot();
+  const obs::HistogramSnapshot get_before = get_us_.Snapshot();
 
   FleetReport report;
   report.cells.resize(options_.cells);
-  std::vector<std::vector<double>> put_lat(options_.cells);
-  std::vector<std::vector<double>> get_lat(options_.cells);
 
   WorkerPool::Options pool_options;
   pool_options.threads = options_.threads;
@@ -138,15 +145,26 @@ Result<FleetReport> FleetRunner::Run() {
 
   auto start = std::chrono::steady_clock::now();
   for (size_t i = 0; i < options_.cells; ++i) {
-    pool.Submit([this, i, &report, &put_lat, &get_lat] {
-      RunCell(i, &report.cells[i], &put_lat[i], &get_lat[i]);
-    });
+    bool accepted = pool.Submit(
+        [this, i, &report] { RunCell(i, &report.cells[i]); });
+    if (!accepted) {
+      // A racing shutdown dropped the task: the cell must not read as "ran
+      // fine with zero ops" — record the rejection as this cell's outcome.
+      report.cells[i].cell_id = CellId(i);
+      report.cells[i].status = Status::Unavailable(
+          report.cells[i].cell_id +
+          ": worker pool rejected the task (shutting down)");
+    }
   }
   pool.Wait();
-  report.wall_seconds = ElapsedUs(start) / 1e6;
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
   pool.Shutdown();
+  // A task that threw bypassed RunCell's per-cell status capture entirely;
+  // surface it as a run-level failure rather than report corrupt totals.
+  TC_RETURN_IF_ERROR(pool.first_error());
 
-  std::vector<double> all_puts, all_gets;
   for (size_t i = 0; i < options_.cells; ++i) {
     const FleetCellResult& cell = report.cells[i];
     if (cell.status.ok()) {
@@ -158,15 +176,9 @@ Result<FleetReport> FleetRunner::Run() {
     report.gets += cell.gets;
     report.sends += cell.sends;
     report.messages_received += cell.messages_received;
-    all_puts.insert(all_puts.end(), put_lat[i].begin(), put_lat[i].end());
-    all_gets.insert(all_gets.end(), get_lat[i].begin(), get_lat[i].end());
   }
-  std::sort(all_puts.begin(), all_puts.end());
-  std::sort(all_gets.begin(), all_gets.end());
-  report.put_p50_us = Percentile(all_puts, 0.50);
-  report.put_p99_us = Percentile(all_puts, 0.99);
-  report.get_p50_us = Percentile(all_gets, 0.50);
-  report.get_p99_us = Percentile(all_gets, 0.99);
+  report.put_latency = ExtractLatency(put_batch_us_.Snapshot(), put_before);
+  report.get_latency = ExtractLatency(get_us_.Snapshot(), get_before);
   if (report.wall_seconds > 0) {
     report.put_get_per_second =
         static_cast<double>(report.puts + report.gets) / report.wall_seconds;

@@ -8,6 +8,7 @@
 #include "tc/cloud/infrastructure.h"
 #include "tc/common/result.h"
 #include "tc/fleet/worker_pool.h"
+#include "tc/obs/metrics.h"
 
 namespace tc::fleet {
 
@@ -46,6 +47,18 @@ struct FleetCellResult {
   uint64_t messages_received = 0;
 };
 
+/// Latency distribution of one operation class over the run, extracted
+/// from the tc::obs histograms (`fleet.put_batch_us` / `fleet.get_us`)
+/// as a delta snapshot scoped to this run.
+struct FleetLatency {
+  uint64_t count = 0;
+  double p50_us = 0;
+  double p95_us = 0;
+  double p99_us = 0;
+  double max_us = 0;
+  double mean_us = 0;
+};
+
 /// Aggregated fleet run: exact operation totals plus host-side timing.
 struct FleetReport {
   size_t cells_ok = 0;
@@ -57,34 +70,37 @@ struct FleetReport {
   double wall_seconds = 0;
   /// (puts + gets) / wall_seconds — the throughput metric E12 sweeps.
   double put_get_per_second = 0;
-  // Latency of one batched put round-trip / one get, host microseconds.
-  double put_p50_us = 0, put_p99_us = 0;
-  double get_p50_us = 0, get_p99_us = 0;
+  /// One batched put round-trip / one get, host microseconds, sourced from
+  /// the tc::obs registry histograms (not ad-hoc wall-clock vectors).
+  FleetLatency put_latency;
+  FleetLatency get_latency;
   uint64_t blob_lock_contention = 0;   // Delta over the run.
   uint64_t queue_lock_contention = 0;  // Delta over the run.
   std::vector<FleetCellResult> cells;
 };
 
 /// Runs a fleet workload to completion. The cloud outlives the runner and
-/// may be shared with other traffic; the report's contention counters are
-/// deltas over this run.
+/// may be shared with other traffic; the report's contention counters and
+/// latency histograms are deltas over this run.
 class FleetRunner {
  public:
   FleetRunner(cloud::CloudInfrastructure* cloud, const FleetOptions& options);
 
   /// Executes the whole fleet: submits one task per cell to the pool,
   /// waits, shuts the pool down gracefully, and aggregates. Errors inside
-  /// a cell are captured in that cell's FleetCellResult; Run itself only
-  /// fails on configuration errors.
+  /// a cell are captured in that cell's FleetCellResult; a rejected Submit
+  /// marks that cell Unavailable (never silently dropped). Run itself only
+  /// fails on configuration errors or a task escaping with an exception
+  /// (the pool's first_error latch).
   Result<FleetReport> Run();
 
  private:
-  void RunCell(size_t cell_index, FleetCellResult* result,
-               std::vector<double>* put_latencies_us,
-               std::vector<double>* get_latencies_us);
+  void RunCell(size_t cell_index, FleetCellResult* result);
 
   cloud::CloudInfrastructure* cloud_;
   FleetOptions options_;
+  obs::Histogram& put_batch_us_;
+  obs::Histogram& get_us_;
 };
 
 }  // namespace tc::fleet

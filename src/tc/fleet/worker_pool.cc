@@ -1,10 +1,21 @@
 #include "tc/fleet/worker_pool.h"
 
+#include <exception>
+#include <string>
 #include <utility>
 
 namespace tc::fleet {
 
-WorkerPool::WorkerPool(const Options& options) : options_(options) {
+WorkerPool::WorkerPool(const Options& options)
+    : options_(options),
+      queue_depth_(
+          obs::MetricRegistry::Global().GetGauge("worker_pool.queue_depth")),
+      task_wait_us_(obs::MetricRegistry::Global().GetHistogram(
+          "worker_pool.task_wait_us")),
+      task_run_us_(obs::MetricRegistry::Global().GetHistogram(
+          "worker_pool.task_run_us")),
+      tasks_failed_metric_(
+          obs::MetricRegistry::Global().GetCounter("worker_pool.tasks_failed")) {
   if (options_.threads == 0) options_.threads = 1;
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
   workers_.reserve(options_.threads);
@@ -22,7 +33,8 @@ bool WorkerPool::Submit(std::function<void()> task) {
       return shutdown_ || queue_.size() < options_.queue_capacity;
     });
     if (shutdown_) return false;
-    queue_.push_back(std::move(task));
+    queue_.push_back({std::move(task), obs::detail::SteadyNowUs()});
+    queue_depth_.Set(static_cast<int64_t>(queue_.size()));
   }
   work_available_.notify_one();
   return true;
@@ -47,9 +59,24 @@ void WorkerPool::Shutdown() {
   }
 }
 
+Status WorkerPool::first_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_error_;
+}
+
+void WorkerPool::RecordTaskFailure(const char* what) {
+  tasks_failed_.fetch_add(1, std::memory_order_relaxed);
+  tasks_failed_metric_.Increment();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (first_error_.ok()) {
+    first_error_ =
+        Status::Internal(std::string("worker task threw: ") + what);
+  }
+}
+
 void WorkerPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_available_.wait(lock,
@@ -57,10 +84,23 @@ void WorkerPool::WorkerLoop() {
       if (queue_.empty()) return;  // Shutdown with a drained queue.
       task = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_.Set(static_cast<int64_t>(queue_.size()));
       ++active_;
     }
     space_available_.notify_one();
-    task();
+    task_wait_us_.Record(obs::detail::SteadyNowUs() - task.enqueue_us);
+    {
+      obs::ScopedTimer run_timer(&task_run_us_);
+      // The task boundary is an exception firewall: a throwing task must
+      // not unwind out of WorkerLoop (std::terminate) nor poison the pool.
+      try {
+        task.fn();
+      } catch (const std::exception& e) {
+        RecordTaskFailure(e.what());
+      } catch (...) {
+        RecordTaskFailure("non-standard exception");
+      }
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
       --active_;

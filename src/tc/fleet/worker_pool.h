@@ -1,6 +1,7 @@
 #ifndef TC_FLEET_WORKER_POOL_H_
 #define TC_FLEET_WORKER_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -8,6 +9,9 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "tc/common/status.h"
+#include "tc/obs/metrics.h"
 
 namespace tc::fleet {
 
@@ -18,6 +22,17 @@ namespace tc::fleet {
 /// million cell tasks without holding them all in memory.
 ///
 /// Shutdown is graceful: already-queued tasks finish, then workers join.
+///
+/// Fault containment: a task that throws never escapes its worker thread
+/// (which would std::terminate the process). The exception is swallowed at
+/// the task boundary, counted in `worker_pool.tasks_failed`, and latched
+/// into `first_error()` so the pool owner can propagate a Status.
+///
+/// Observability (tc::obs global registry):
+///   worker_pool.queue_depth    gauge      tasks waiting right now
+///   worker_pool.task_wait_us   histogram  Submit -> task start
+///   worker_pool.task_run_us    histogram  task execution time
+///   worker_pool.tasks_failed   counter    tasks that threw
 class WorkerPool {
  public:
   struct Options {
@@ -33,8 +48,9 @@ class WorkerPool {
   WorkerPool& operator=(const WorkerPool&) = delete;
 
   /// Enqueues a task; blocks while the queue is at capacity. Returns false
-  /// (and drops the task) if the pool is shutting down.
-  bool Submit(std::function<void()> task);
+  /// (and drops the task) if the pool is shutting down — callers must check
+  /// and account for the dropped work.
+  [[nodiscard]] bool Submit(std::function<void()> task);
 
   /// Blocks until the queue is empty and every worker is idle. Tasks
   /// submitted concurrently with Wait may or may not be covered — the
@@ -47,19 +63,42 @@ class WorkerPool {
 
   size_t thread_count() const { return workers_.size(); }
 
+  /// Number of tasks that threw (over the pool's lifetime).
+  uint64_t tasks_failed() const {
+    return tasks_failed_.load(std::memory_order_relaxed);
+  }
+
+  /// First task failure, latched: OK while no task has thrown, then an
+  /// Internal status carrying the first exception's message forever after.
+  Status first_error() const;
+
  private:
+  struct QueuedTask {
+    std::function<void()> fn;
+    uint64_t enqueue_us = 0;  // Submit time, for the wait-time histogram.
+  };
+
   void WorkerLoop();
+  void RecordTaskFailure(const char* what);
 
   Options options_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_available_;   // queue non-empty or shutdown.
   std::condition_variable space_available_;  // queue below capacity.
   std::condition_variable idle_;             // queue empty && none active.
-  std::deque<std::function<void()>> queue_;  // guarded by mu_.
+  std::deque<QueuedTask> queue_;             // guarded by mu_.
   size_t active_ = 0;                        // tasks currently running.
   bool shutdown_ = false;
+  Status first_error_;                       // guarded by mu_.
+  std::atomic<uint64_t> tasks_failed_{0};
   std::mutex join_mu_;
   std::vector<std::thread> workers_;
+
+  // Resolved once; hot path touches only the relaxed atomics inside.
+  obs::Gauge& queue_depth_;
+  obs::Histogram& task_wait_us_;
+  obs::Histogram& task_run_us_;
+  obs::Counter& tasks_failed_metric_;
 };
 
 }  // namespace tc::fleet

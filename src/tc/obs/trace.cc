@@ -1,0 +1,85 @@
+#include "tc/obs/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tc::obs {
+namespace {
+
+void CopyTruncated(char* dst, size_t dst_size, const std::string& src) {
+  size_t n = std::min(src.size(), dst_size - 1);
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+const char* KindName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kBegin:
+      return "B";
+    case TraceKind::kEnd:
+      return "E";
+    case TraceKind::kInstant:
+      return "I";
+  }
+  return "?";
+}
+
+}  // namespace
+
+TraceRing::TraceRing(size_t capacity) : slots_(capacity == 0 ? 1 : capacity) {}
+
+TraceRing& TraceRing::Global() {
+  static TraceRing* ring = new TraceRing();  // Never destroyed.
+  return *ring;
+}
+
+void TraceRing::Emit(TraceKind kind, const std::string& component,
+                     const std::string& name, const std::string& detail,
+                     uint64_t duration_us) {
+  if (!detail::EnabledFast()) return;
+  uint64_t t_us = detail::SteadyNowUs();
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceEvent& slot = slots_[next_seq_ % slots_.size()];
+  slot.seq = next_seq_++;
+  slot.t_us = t_us;
+  slot.duration_us = duration_us;
+  slot.kind = kind;
+  CopyTruncated(slot.component, sizeof(slot.component), component);
+  CopyTruncated(slot.name, sizeof(slot.name), name);
+  CopyTruncated(slot.detail, sizeof(slot.detail), detail);
+}
+
+std::vector<TraceEvent> TraceRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  uint64_t retained = std::min<uint64_t>(next_seq_, slots_.size());
+  out.reserve(retained);
+  for (uint64_t seq = next_seq_ - retained; seq < next_seq_; ++seq) {
+    out.push_back(slots_[seq % slots_.size()]);
+  }
+  return out;
+}
+
+uint64_t TraceRing::total_emitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+std::string TraceRing::ToJsonLines() const {
+  std::ostringstream out;
+  for (const TraceEvent& event : Snapshot()) {
+    out << "{\"seq\":" << event.seq << ",\"ph\":\"" << KindName(event.kind)
+        << "\",\"ts\":" << event.t_us << ",\"dur\":" << event.duration_us
+        << ",\"cat\":\"" << event.component << "\",\"name\":\"" << event.name
+        << "\",\"args\":\"" << event.detail << "\"}\n";
+  }
+  return out.str();
+}
+
+void TraceRing::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_seq_ = 0;
+  std::fill(slots_.begin(), slots_.end(), TraceEvent{});
+}
+
+}  // namespace tc::obs

@@ -1,0 +1,92 @@
+#ifndef TC_OBS_TRACE_H_
+#define TC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "tc/obs/metrics.h"
+
+namespace tc::obs {
+
+enum class TraceKind : uint8_t {
+  kBegin = 1,    ///< Span opened.
+  kEnd = 2,      ///< Span closed (duration_us is set).
+  kInstant = 3,  ///< Point event (e.g. a security incident, a GC run).
+};
+
+/// One trace event. Strings are stored inline (truncated) so the ring
+/// never allocates after construction and a snapshot is a plain copy.
+struct TraceEvent {
+  uint64_t seq = 0;          ///< Global emission order.
+  uint64_t t_us = 0;         ///< Steady microseconds since process start.
+  uint64_t duration_us = 0;  ///< kEnd only: span duration.
+  TraceKind kind = TraceKind::kInstant;
+  char component[16] = {};  ///< Subsystem ("storage", "cloud", "cell"...).
+  char name[32] = {};       ///< Operation ("recover", "sync_pull"...).
+  char detail[48] = {};     ///< Free-form (cell id, object id...).
+};
+
+/// Fixed-capacity ring of the most recent trace events. Writes take a
+/// mutex — tracing is for coarse operations (recovery, GC, sync, security
+/// incidents), NOT the per-record hot path; the hot path is covered by the
+/// relaxed-atomic histograms in metrics.h.
+class TraceRing {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  explicit TraceRing(size_t capacity = kDefaultCapacity);
+
+  /// Process-wide ring all subsystems emit into.
+  static TraceRing& Global();
+
+  void Emit(TraceKind kind, const std::string& component,
+            const std::string& name, const std::string& detail = "",
+            uint64_t duration_us = 0);
+
+  /// Events currently retained, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Total events ever emitted (>= Snapshot().size(); the difference is
+  /// how many the ring has overwritten).
+  uint64_t total_emitted() const;
+
+  size_t capacity() const { return slots_.size(); }
+
+  /// One JSON object per line (chrome://tracing-like fields).
+  std::string ToJsonLines() const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> slots_;  // guarded by mu_.
+  uint64_t next_seq_ = 0;          // guarded by mu_.
+};
+
+/// RAII span: emits kBegin at construction and kEnd (with duration) at
+/// scope exit into the global ring.
+class TraceSpan {
+ public:
+  TraceSpan(const std::string& component, const std::string& name,
+            const std::string& detail = "")
+      : component_(component), name_(name), detail_(detail) {
+    TraceRing::Global().Emit(TraceKind::kBegin, component_, name_, detail_);
+  }
+  ~TraceSpan() {
+    TraceRing::Global().Emit(TraceKind::kEnd, component_, name_, detail_,
+                             stopwatch_.ElapsedUs());
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  std::string component_, name_, detail_;
+  Stopwatch stopwatch_;
+};
+
+}  // namespace tc::obs
+
+#endif  // TC_OBS_TRACE_H_

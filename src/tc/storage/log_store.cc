@@ -5,6 +5,7 @@
 #include <map>
 
 #include "tc/common/codec.h"
+#include "tc/obs/trace.h"
 
 namespace tc::storage {
 namespace {
@@ -29,6 +30,28 @@ constexpr uint8_t kRecordTombstone = 2;
 
 }  // namespace
 
+LogStore::Metrics::Metrics()
+    : append_us(
+          obs::MetricRegistry::Global().GetHistogram("storage.append_us")),
+      get_us(obs::MetricRegistry::Global().GetHistogram("storage.get_us")),
+      recover_us(
+          obs::MetricRegistry::Global().GetHistogram("storage.recover_us")),
+      gc_us(obs::MetricRegistry::Global().GetHistogram("storage.gc_us")),
+      flash_page_reads(
+          obs::MetricRegistry::Global().GetGauge("storage.flash_page_reads")),
+      flash_page_programs(obs::MetricRegistry::Global().GetGauge(
+          "storage.flash_page_programs")),
+      flash_block_erases(obs::MetricRegistry::Global().GetGauge(
+          "storage.flash_block_erases")),
+      gc_runs(obs::MetricRegistry::Global().GetCounter("storage.gc_runs")) {}
+
+void LogStore::UpdateFlashGauges() {
+  const FlashStats& fs = device_->stats();
+  metrics_.flash_page_reads.Set(static_cast<int64_t>(fs.page_reads));
+  metrics_.flash_page_programs.Set(static_cast<int64_t>(fs.page_programs));
+  metrics_.flash_block_erases.Set(static_cast<int64_t>(fs.block_erases));
+}
+
 LogStore::LogStore(FlashDevice* device, PageTransform* transform,
                    const LogStoreOptions& options)
     : device_(device),
@@ -46,7 +69,12 @@ Result<std::unique_ptr<LogStore>> LogStore::Open(
     return Status::InvalidArgument("flash pages too small for the store");
   }
   std::unique_ptr<LogStore> store(new LogStore(device, transform, options));
-  TC_RETURN_IF_ERROR(store->Recover());
+  {
+    obs::TraceSpan span("storage", "recover");
+    obs::ScopedTimer timer(&store->metrics_.recover_us);
+    TC_RETURN_IF_ERROR(store->Recover());
+  }
+  store->UpdateFlashGauges();
   return store;
 }
 
@@ -337,20 +365,27 @@ Status LogStore::Append(Record record, bool count_as_user_write) {
 }
 
 Status LogStore::Put(const std::string& key, const Bytes& value) {
+  obs::ScopedTimer timer(&metrics_.append_us);
   if (key.empty()) return Status::InvalidArgument("empty key");
-  return Append(Record{key, value, next_seq_++, false},
-                /*count_as_user_write=*/true);
+  Status status = Append(Record{key, value, next_seq_++, false},
+                         /*count_as_user_write=*/true);
+  UpdateFlashGauges();
+  return status;
 }
 
 Status LogStore::Delete(const std::string& key) {
+  obs::ScopedTimer timer(&metrics_.append_us);
   if (key.empty()) return Status::InvalidArgument("empty key");
-  return Append(Record{key, {}, next_seq_++, true},
-                /*count_as_user_write=*/true);
+  Status status = Append(Record{key, {}, next_seq_++, true},
+                         /*count_as_user_write=*/true);
+  UpdateFlashGauges();
+  return status;
 }
 
 Status LogStore::Flush() { return FlushBufferedPage(); }
 
 Result<Bytes> LogStore::Get(const std::string& key) {
+  obs::ScopedTimer timer(&metrics_.get_us);
   // Freshest first: the RAM write buffer.
   for (auto it = buffer_records_.rbegin(); it != buffer_records_.rend();
        ++it) {
@@ -458,7 +493,10 @@ Result<uint64_t> LogStore::CountLive() {
 Status LogStore::RunGc() {
   if (in_gc_) return Status::OK();
   in_gc_ = true;
+  obs::TraceSpan span("storage", "gc");
+  obs::Stopwatch stopwatch;
   Status status = RunGcLocked();
+  metrics_.gc_us.Record(stopwatch.ElapsedUs());
   in_gc_ = false;
   return status;
 }
@@ -531,6 +569,7 @@ Status LogStore::RunGcLocked() {
     block_dead_[victim] = 0;
     free_blocks_.push_back(victim);
     ++stats_.gc_runs;
+    metrics_.gc_runs.Increment();
   }
   return Status::OK();
 }

@@ -11,6 +11,7 @@
 
 #include "tc/common/bytes.h"
 #include "tc/common/result.h"
+#include "tc/obs/metrics.h"
 #include "tc/storage/flash_device.h"
 #include "tc/storage/page_transform.h"
 
@@ -81,6 +82,13 @@ struct LogStoreStats {
 /// Recovery (`Open` on a non-empty device) rebuilds state by scanning all
 /// programmed pages; records carry sequence numbers, so scan order is
 /// irrelevant.
+///
+/// Observability (tc::obs global registry):
+///   storage.append_us / storage.get_us /
+///   storage.recover_us / storage.gc_us      histograms, per-op latency
+///   storage.flash_page_reads / _programs /
+///   storage.flash_block_erases              gauges mirroring FlashStats
+///   storage.gc_runs                         counter
 class LogStore {
  public:
   /// Opens (and recovers) a store on `device`. `transform` and `device`
@@ -132,6 +140,20 @@ class LogStore {
   void DebugDump() const;
 
  private:
+  /// Handles into the global registry, resolved once at construction; the
+  /// hot path only touches the relaxed atomics inside.
+  struct Metrics {
+    Metrics();
+    obs::Histogram& append_us;
+    obs::Histogram& get_us;
+    obs::Histogram& recover_us;
+    obs::Histogram& gc_us;
+    obs::Gauge& flash_page_reads;
+    obs::Gauge& flash_page_programs;
+    obs::Gauge& flash_block_erases;
+    obs::Counter& gc_runs;
+  };
+
   struct IndexEntry {
     uint64_t page_no;  // kBufferedPage while still in the write buffer.
     uint64_t seq;
@@ -163,6 +185,8 @@ class LogStore {
   size_t RecordWireSize(const Record& record) const;
   Result<Bytes> ScanForKey(const std::string& key);
   uint64_t PageBlock(uint64_t page_no) const;
+  /// Mirrors the device's FlashStats into the registry gauges.
+  void UpdateFlashGauges();
 
   FlashDevice* device_;
   PageTransform* transform_;
@@ -196,6 +220,7 @@ class LogStore {
   // — that is tampering or bit rot and always surfaces as an error.
   std::set<uint64_t> torn_pages_;
 
+  Metrics metrics_;
   LogStoreStats stats_;
 };
 

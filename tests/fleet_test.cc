@@ -11,6 +11,7 @@
 #include "tc/common/rng.h"
 #include "tc/fleet/fleet.h"
 #include "tc/fleet/worker_pool.h"
+#include "tc/obs/metrics.h"
 
 namespace tc::fleet {
 namespace {
@@ -50,6 +51,78 @@ TEST(WorkerPoolTest, ShutdownDrainsQueueAndRejectsNewWork) {
   EXPECT_EQ(ran.load(), 32);
   EXPECT_FALSE(pool->Submit([&ran] { ran.fetch_add(1); }));
   EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(WorkerPoolTest, ThrowingTasksAreContainedCountedAndLatched) {
+  // Regression: a task that throws used to escape WorkerLoop and take the
+  // whole process down via std::terminate. The pool must survive, keep
+  // running later tasks, count the failures, and latch the FIRST error.
+  uint64_t metric_before = obs::MetricRegistry::Global()
+                               .GetCounter("worker_pool.tasks_failed")
+                               .Value();
+  WorkerPool::Options options;
+  options.threads = 2;
+  options.queue_capacity = 16;
+  WorkerPool pool(options);
+  EXPECT_EQ(pool.tasks_failed(), 0u);
+  EXPECT_TRUE(pool.first_error().ok());
+
+  ASSERT_TRUE(pool.Submit([] { throw std::runtime_error("first boom"); }));
+  pool.Wait();  // Order the two throwing tasks: "first boom" wins the latch.
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.Submit([] { throw std::string("not std::exception"); }));
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(pool.Submit([&ran] { ran.fetch_add(1); }));
+  }
+  pool.Wait();
+
+  EXPECT_EQ(ran.load(), 8);  // The pool outlived both throws.
+  EXPECT_EQ(pool.tasks_failed(), 2u);
+  Status first = pool.first_error();
+  EXPECT_EQ(first.code(), StatusCode::kInternal);
+  EXPECT_NE(first.ToString().find("first boom"), std::string::npos)
+      << first.ToString();
+  EXPECT_EQ(obs::MetricRegistry::Global()
+                    .GetCounter("worker_pool.tasks_failed")
+                    .Value() -
+                metric_before,
+            2u);
+  pool.Shutdown();
+  EXPECT_EQ(pool.tasks_failed(), 2u);  // Shutdown doesn't reset the record.
+}
+
+TEST(WorkerPoolTest, ShutdownSemanticsUnderConcurrentSubmitters) {
+  // Pins the Submit/Shutdown contract: every Submit that returned true runs
+  // exactly once; every Submit after shutdown returns false and never runs.
+  // Submitters race Shutdown from four threads to make the window real.
+  WorkerPool::Options options;
+  options.threads = 3;
+  options.queue_capacity = 4;  // Small: submitters block, racing shutdown.
+  WorkerPool pool(options);
+  std::atomic<uint64_t> accepted{0}, rejected{0}, executed{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        if (pool.Submit([&executed] { executed.fetch_add(1); })) {
+          accepted.fetch_add(1);
+        } else {
+          rejected.fetch_add(1);
+        }
+      }
+    });
+  }
+  // Let some work through, then close the pool under the submitters.
+  while (executed.load() < 20) std::this_thread::yield();
+  pool.Shutdown();
+  for (std::thread& thread : submitters) thread.join();
+
+  EXPECT_EQ(executed.load(), accepted.load());  // true => ran, exactly once.
+  EXPECT_EQ(accepted.load() + rejected.load(), 4u * 200);
+  EXPECT_GT(rejected.load(), 0u);  // The race actually closed the door.
+  // Shutdown is idempotent and still rejects.
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Submit([] {}));
 }
 
 // ---------------------------------------------------------------------------
@@ -231,6 +304,18 @@ TEST(FleetRunnerTest, HonestFleetCompletesWithExactTotals) {
   EXPECT_EQ(stats.messages_sent, report->sends);
   EXPECT_EQ(stats.messages_delivered, report->messages_received);
   EXPECT_GT(report->put_get_per_second, 0.0);
+
+  // Latency percentiles come from the tc::obs histograms, delta-scoped to
+  // this run: exactly one put_batch sample per round, one get sample per
+  // get, even though the registry is global and cumulative.
+  EXPECT_EQ(report->put_latency.count,
+            options.cells * options.rounds_per_cell);
+  EXPECT_EQ(report->get_latency.count, report->gets);
+  EXPECT_GT(report->put_latency.p50_us, 0.0);
+  EXPECT_LE(report->put_latency.p50_us, report->put_latency.p95_us);
+  EXPECT_LE(report->put_latency.p95_us, report->put_latency.p99_us);
+  EXPECT_LE(report->put_latency.p99_us, report->put_latency.max_us);
+  EXPECT_LE(report->get_latency.p50_us, report->get_latency.max_us);
 }
 
 TEST(FleetRunnerTest, SameSeedSameWorkload) {
