@@ -100,7 +100,9 @@ int main() {
                    .ok());
     }
     double append_us = UsSince(t0) / kEntries;
-    Bytes exported = log.Export();
+    auto exported_or = log.Export();
+    TC_CHECK(exported_or.ok());
+    Bytes exported = *exported_or;
     t0 = std::chrono::steady_clock::now();
     auto entries =
         policy::AuditLog::VerifyAndDecrypt(exported, &tee, "audit", kEntries);

@@ -1,0 +1,19 @@
+#!/bin/sh
+# The tier-1 verify, end to end (cited by ROADMAP.md):
+#
+#   1. configure + build the default tree;
+#   2. run the full ctest suite;
+#   3. check no generated build*/ tree is tracked or staged;
+#   4. run the obs export validator (quick bench run + trace JSON checks).
+#
+# Each step's script documents its own skip conditions; this wrapper just
+# sequences them and stops at the first failure.
+set -eu
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+(cd build && ctest --output-on-failure -j "$(nproc)")
+scripts/check_tree_clean.sh
+scripts/validate_obs_export.sh
+echo "ci: all tier-1 checks passed"

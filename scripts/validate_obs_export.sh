@@ -1,0 +1,90 @@
+#!/bin/sh
+# Runs bench_obs_overhead in --quick mode with --trace-json/--trace-jsonl
+# and validates the exported artifacts are real, well-formed traces:
+#
+#   1. the Chrome trace_event file parses as JSON with a traceEvents array;
+#   2. the JSONL file parses line by line;
+#   3. the span tree is CONNECTED — every non-root span's parent id exists
+#      in the same trace, and every event carries a nonzero trace id;
+#   4. intervals NEST — a span's [ts, ts+dur] lies inside its parent's
+#      interval (small slack for clock granularity).
+#
+# This is the export-side half of the evidence chain: trace_tree_test
+# asserts tree shape in-process; this script asserts the shape survives
+# export, so a trace handed to an auditor is loadable and coherent.
+#
+# Requires python3 for the JSON checks; skips gracefully (exit 0 with a
+# message) when it is missing, like scripts/tsan_tests.sh.
+#
+# Usage: scripts/validate_obs_export.sh [path-to-bench_obs_overhead]
+# Default binary: build/bench/bench_obs_overhead (tier-1 build tree).
+set -eu
+cd "$(dirname "$0")/.."
+
+bench="${1:-build/bench/bench_obs_overhead}"
+if [ ! -x "$bench" ]; then
+  echo "validate_obs_export: $bench not built; run the tier-1 build first" >&2
+  exit 1
+fi
+if ! command -v python3 > /dev/null 2>&1; then
+  echo "validate_obs_export: python3 not available; SKIPPING" >&2
+  exit 0
+fi
+
+out_dir=$(mktemp -d)
+trap 'rm -rf "$out_dir"' EXIT
+
+"$bench" --quick --trace-json "$out_dir/trace.json" \
+  --trace-jsonl "$out_dir/trace.jsonl" > "$out_dir/bench.log" 2>&1 || {
+  echo "validate_obs_export: bench run failed:" >&2
+  tail -20 "$out_dir/bench.log" >&2
+  exit 1
+}
+
+python3 - "$out_dir/trace.json" "$out_dir/trace.jsonl" <<'EOF'
+import json
+import sys
+
+json_path, jsonl_path = sys.argv[1], sys.argv[2]
+
+doc = json.load(open(json_path))
+events = doc["traceEvents"]
+assert events, "traceEvents is empty"
+
+lines = [json.loads(l) for l in open(jsonl_path) if l.strip()]
+assert lines, "JSONL export is empty"
+
+# Complete spans ("X") carry their own interval; "B"/"E" pairs are matched
+# by span id. Instants ("I"/"i") only need a valid context.
+spans = {}
+for e in events:
+    trace = e["args"]["trace"]
+    span = e["args"]["span"]
+    parent = e["args"]["parent"]
+    assert trace != 0, f"event with no trace id: {e}"
+    assert span != 0, f"event with no span id: {e}"
+    if e["ph"] in ("X", "B", "E"):
+        start, end = e["ts"], e["ts"] + e.get("dur", 0)
+        if span in spans:
+            prev = spans[span]
+            start, end = min(start, prev[2]), max(end, prev[3])
+        spans[span] = (trace, parent, start, end)
+
+roots = 0
+for span, (trace, parent, start, end) in spans.items():
+    if parent == 0:
+        roots += 1
+        continue
+    assert parent in spans, f"span {span}: parent {parent} not exported"
+    ptrace, _, pstart, pend = spans[parent]
+    assert ptrace == trace, f"span {span} crosses traces {trace}/{ptrace}"
+    # 2 us slack: timestamps are integer microseconds and parent/child
+    # stamps come from separate clock reads.
+    assert start + 2 >= pstart and end <= pend + 2, (
+        f"span {span} [{start},{end}] outside parent {parent} "
+        f"[{pstart},{pend}]")
+assert roots >= 1, "no root span exported"
+
+print(f"validate_obs_export: OK ({len(events)} events, {len(spans)} spans, "
+      f"{roots} root(s), {len(lines)} JSONL lines)")
+EOF

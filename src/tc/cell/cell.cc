@@ -1,11 +1,11 @@
 #include "tc/cell/cell.h"
 
-#include "tc/obs/trace.h"
-
 #include <algorithm>
 
 #include "tc/common/codec.h"
 #include "tc/crypto/sha256.h"
+#include "tc/obs/flight_recorder.h"
+#include "tc/obs/trace.h"
 
 namespace tc::cell {
 namespace {
@@ -187,6 +187,22 @@ Status TrustedCell::Init() {
   TC_RETURN_IF_ERROR(tee_->keystore().DeriveChildKey(
       "owner-master", "audit-key", "audit/" + config_.cell_id));
 
+  // The audit journal must exist before the store opens: recovery can
+  // raise incidents, and every incident is journaled evidence.
+  audit_ = std::make_unique<policy::AuditLog>(tee_.get(), "audit-key");
+  {
+    obs::AuditRecord boot;
+    boot.time = clock_->Now();
+    boot.kind = obs::AuditKind::kAttestation;
+    boot.subject = config_.cell_id;
+    boot.action = "init";
+    boot.object = config_.cell_id;
+    boot.allowed = true;
+    boot.detail =
+        "boot_counter=" + std::to_string(tee_->CounterValue("boot"));
+    TC_RETURN_IF_ERROR(audit_->journal().Append(std::move(boot)));
+  }
+
   const tee::DeviceProfile& profile = tee_->profile();
   storage::FlashGeometry geo =
       config_.use_default_flash ? DefaultGeometry(profile) : config_.flash;
@@ -204,13 +220,22 @@ Status TrustedCell::Init() {
                       storage::LogStore::Open(flash_.get(), transform_.get(),
                                               store_options));
   if (store_->stats().recovery_pages_skipped > 0) {
+    obs::AuditRecord skip;
+    skip.time = clock_->Now();
+    skip.kind = obs::AuditKind::kRecoverySkip;
+    skip.subject = config_.cell_id;
+    skip.action = "recover";
+    skip.object = "flash";
+    skip.allowed = true;  // Tolerated by max_recovery_skips.
+    skip.detail = std::to_string(store_->stats().recovery_pages_skipped) +
+                  " pages skipped";
+    TC_RETURN_IF_ERROR(audit_->journal().Append(std::move(skip)));
     RecordIncident(
         IncidentType::kStorageDataLoss, "flash",
         std::to_string(store_->stats().recovery_pages_skipped) +
             " undecodable flash pages skipped during store recovery");
   }
   TC_ASSIGN_OR_RETURN(db_, db::Database::Open(store_.get()));
-  audit_ = std::make_unique<policy::AuditLog>(tee_.get(), "audit-key");
 
   // Rebuild the document registry.
   Status scan_status;
@@ -301,15 +326,54 @@ Status TrustedCell::SaveMeta(const DocumentMeta& meta, bool is_new) {
   return store_->Put(MetaKey(meta.doc_id), EncodeMeta(meta, number));
 }
 
+namespace {
+
+const char* IncidentName(IncidentType type) {
+  switch (type) {
+    case IncidentType::kPayloadTampered:
+      return "payload_tampered";
+    case IncidentType::kRollbackDetected:
+      return "rollback_detected";
+    case IncidentType::kForgedGrant:
+      return "forged_grant";
+    case IncidentType::kReplayedGrant:
+      return "replayed_grant";
+    case IncidentType::kPolicyTampered:
+      return "policy_tampered";
+    case IncidentType::kStorageDataLoss:
+      return "storage_data_loss";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
 void TrustedCell::RecordIncident(IncidentType type,
                                  const std::string& object_id,
                                  const std::string& detail) {
   incidents_.push_back(SecurityIncident{type, object_id, detail});
   metrics_.incidents.Increment();
-  obs::TraceRing::Global().Emit(
-      obs::TraceKind::kInstant, "cell",
-      "incident/" + std::to_string(static_cast<int>(type)),
-      config_.cell_id + " " + object_id);
+  obs::TraceRing::Global().Emit(obs::TraceKind::kInstant, "cell",
+                                std::string("incident/") + IncidentName(type),
+                                config_.cell_id + " " + object_id);
+  // Every incident is journaled evidence (audit_ exists for the whole
+  // post-Init lifetime; Init constructs it before the store opens).
+  const obs::AuditJournal* journal = nullptr;
+  if (audit_ != nullptr) {
+    obs::AuditRecord record;
+    record.time = clock_->Now();
+    record.kind = obs::AuditKind::kIncident;
+    record.subject = config_.cell_id;
+    record.action = IncidentName(type);
+    record.object = object_id;
+    record.allowed = false;
+    record.detail = detail;
+    (void)audit_->journal().Append(std::move(record));
+    journal = &audit_->journal();
+  }
+  obs::FlightRecorder::Global().Trigger(
+      std::string("incident:") + IncidentName(type),
+      config_.cell_id + " " + object_id + ": " + detail, journal);
 }
 
 // ---- Controlled collection ----
@@ -351,6 +415,10 @@ Result<std::string> TrustedCell::StoreDocument(const std::string& title,
                                                const std::string& keywords,
                                                const Bytes& content,
                                                const policy::Policy& policy) {
+  // Cell API surface: plain spans mint a new trace when none is active,
+  // so every public operation roots one causal tree (or nests under the
+  // caller's, e.g. a fleet run).
+  obs::TraceSpan span("cell", "store_document", config_.cell_id);
   BinaryWriter idw;
   idw.PutString(config_.cell_id);
   idw.PutU64(next_doc_number_);
@@ -386,6 +454,7 @@ Result<std::string> TrustedCell::StoreDocument(const std::string& title,
 
 Status TrustedCell::UpdateDocument(const std::string& doc_id,
                                    const Bytes& content) {
+  obs::TraceSpan span("cell", "update_document", doc_id);
   TC_ASSIGN_OR_RETURN(DocumentMeta meta, LoadMeta(doc_id));
   if (meta.origin_owner != config_.owner) {
     return Status::PermissionDenied("cannot update a document shared by " +
@@ -434,6 +503,7 @@ Result<Bytes> TrustedCell::FetchAndOpen(const DocumentMeta& meta) {
 
 Result<Bytes> TrustedCell::FetchDocument(const std::string& doc_id,
                                          const policy::Attributes& attributes) {
+  obs::TraceSpan span("cell", "fetch_document", doc_id);
   TC_ASSIGN_OR_RETURN(DocumentMeta meta, LoadMeta(doc_id));
   if (meta.pending_approval) {
     return Status::FailedPrecondition(
@@ -496,6 +566,7 @@ std::vector<DocumentMeta> TrustedCell::ListDocuments() {
 // ---- Sync ----
 
 Status TrustedCell::SyncPush() {
+  obs::TraceSpan span("cell", "sync_push", config_.cell_id);
   // Collect own documents.
   BinaryWriter body;
   std::vector<std::string> own;
@@ -538,6 +609,7 @@ Status TrustedCell::SyncPush() {
 }
 
 Status TrustedCell::SyncPull() {
+  obs::TraceSpan span("cell", "sync_pull", config_.cell_id);
   TC_ASSIGN_OR_RETURN(Bytes blob, cloud_->GetBlob(ManifestBlobId()));
   BinaryReader r(blob);
   auto magic = r.GetString();
@@ -591,6 +663,7 @@ Status TrustedCell::SyncPull() {
 Status TrustedCell::ShareDocument(const std::string& doc_id,
                                   const std::string& recipient_cell,
                                   const policy::Policy& policy) {
+  obs::TraceSpan span("cell", "share_document", doc_id);
   TC_ASSIGN_OR_RETURN(DocumentMeta meta, LoadMeta(doc_id));
   if (meta.pending_approval) {
     return Status::FailedPrecondition(
@@ -641,6 +714,7 @@ Status TrustedCell::ShareDocument(const std::string& doc_id,
 }
 
 Result<int> TrustedCell::ProcessInbox() {
+  obs::TraceSpan span("cell", "process_inbox", config_.cell_id);
   int accepted = 0;
   for (cloud::Message& msg : cloud_->Receive(config_.cell_id)) {
     if (msg.topic == "guardian-share") {
@@ -756,6 +830,7 @@ std::vector<cloud::Message> TrustedCell::TakeMessages(
 Result<Bytes> TrustedCell::ReadSharedDocument(
     const std::string& doc_id, const std::string& subject,
     const policy::Attributes& attributes) {
+  obs::TraceSpan span("cell", "read_shared_document", doc_id);
   TC_ASSIGN_OR_RETURN(DocumentMeta meta, LoadMeta(doc_id));
   auto policy = policy::StickyPolicy::VerifyAndExtractWithMac(
       meta.policy_envelope, doc_id, StickyMac(meta.key_name));
@@ -1096,16 +1171,17 @@ Status TrustedCell::PushAuditLog(const std::string& recipient_cell) {
   TC_ASSIGN_OR_RETURN(
       Bytes wrapped,
       tee_->WrapKeyFor(recipient.dh_public_key, "audit-key", ctx.Take()));
+  TC_ASSIGN_OR_RETURN(Bytes exported, audit_->Export());
   BinaryWriter w;
   w.PutString(config_.cell_id);
   w.PutU64(audit_->size());
   w.PutBytes(wrapped);
-  w.PutBytes(audit_->Export());
+  w.PutBytes(exported);
   cloud_->Send(config_.cell_id, recipient_cell, "audit-log", w.Take());
   return Status::OK();
 }
 
-Result<std::vector<policy::AuditEntry>> TrustedCell::VerifyAuditPush(
+Result<std::vector<obs::AuditRecord>> TrustedCell::VerifyAuditPush(
     const cloud::Message& message) {
   BinaryReader r(message.payload);
   TC_ASSIGN_OR_RETURN(std::string sender_cell, r.GetString());

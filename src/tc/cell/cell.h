@@ -317,8 +317,9 @@ class TrustedCell {
   Status PushAuditLog(const std::string& recipient_cell);
 
   /// Originator side: verifies + decrypts an audit push received in the
-  /// inbox (topic "audit-log").
-  Result<std::vector<policy::AuditEntry>> VerifyAuditPush(
+  /// inbox (topic "audit-log"). Returns the full journal record stream
+  /// (policy decisions plus incident/attestation evidence).
+  Result<std::vector<obs::AuditRecord>> VerifyAuditPush(
       const cloud::Message& message);
 
   // ---- Shared commons ----

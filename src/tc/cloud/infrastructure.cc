@@ -3,6 +3,8 @@
 #include <chrono>
 #include <thread>
 
+#include "tc/obs/trace.h"
+
 namespace tc::cloud {
 namespace {
 
@@ -94,7 +96,11 @@ void CloudInfrastructure::ChargeLatency() const {
 
 uint64_t CloudInfrastructure::PutBlob(const std::string& id,
                                       const Bytes& data) {
-  obs::ScopedTimer timer(&metrics_.put_us);
+  // Child-only timed spans on the provider API: a traced operation above
+  // (cell op, fleet task) sees every cloud hop; un-traced hot-path use is
+  // trace-inert but still feeds the latency histogram, and span + timer
+  // share one pair of clock reads.
+  obs::TraceSpan span(obs::kChildOnly, "cloud", "put", id, &metrics_.put_us);
   ChargeLatency();
   stats_.blob_puts.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_in.fetch_add(data.size(), std::memory_order_relaxed);
@@ -103,7 +109,9 @@ uint64_t CloudInfrastructure::PutBlob(const std::string& id,
 
 std::vector<uint64_t> CloudInfrastructure::PutBlobBatch(
     const std::vector<std::pair<std::string, Bytes>>& items) {
-  obs::ScopedTimer timer(&metrics_.put_batch_us);
+  obs::TraceSpan span(obs::kChildOnly, "cloud", "put_batch",
+                      std::to_string(items.size()) + " blobs",
+                      &metrics_.put_batch_us);
   ChargeLatency();  // One round-trip for the whole batch.
   uint64_t bytes = 0;
   for (const auto& [id, data] : items) bytes += data.size();
@@ -113,7 +121,7 @@ std::vector<uint64_t> CloudInfrastructure::PutBlobBatch(
 }
 
 Result<Bytes> CloudInfrastructure::GetBlob(const std::string& id) {
-  obs::ScopedTimer timer(&metrics_.get_us);
+  obs::TraceSpan span(obs::kChildOnly, "cloud", "get", id, &metrics_.get_us);
   ChargeLatency();
   stats_.blob_gets.fetch_add(1, std::memory_order_relaxed);
   const AdversaryConfig adversary = SnapshotAdversary();
@@ -185,7 +193,8 @@ uint64_t CloudInfrastructure::Send(const std::string& from,
                                    const std::string& to,
                                    const std::string& topic,
                                    const Bytes& payload) {
-  obs::ScopedTimer timer(&metrics_.send_us);
+  obs::TraceSpan span(obs::kChildOnly, "cloud", "send", topic,
+                      &metrics_.send_us);
   ChargeLatency();
   stats_.messages_sent.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_in.fetch_add(payload.size(), std::memory_order_relaxed);
@@ -209,7 +218,8 @@ uint64_t CloudInfrastructure::Send(const std::string& from,
 
 std::vector<Message> CloudInfrastructure::Receive(
     const std::string& recipient) {
-  obs::ScopedTimer timer(&metrics_.receive_us);
+  obs::TraceSpan span(obs::kChildOnly, "cloud", "receive", recipient,
+                      &metrics_.receive_us);
   ChargeLatency();
   const AdversaryConfig adversary = SnapshotAdversary();
   std::vector<Message> out;

@@ -62,11 +62,11 @@ void FleetRunner::RunCell(size_t cell_index, FleetCellResult* result) {
       batch.emplace_back(result->cell_id + "/doc" + std::to_string(doc),
                          rng.NextBytes(options_.payload_bytes));
     }
-    std::vector<uint64_t> versions;
-    {
-      obs::ScopedTimer put_timer(&put_batch_us_);
-      versions = cloud_->PutBlobBatch(batch);
-    }
+    // Report latencies record unconditionally: the FleetReport is this
+    // harness's product and must not change shape with the obs switch.
+    obs::Stopwatch put_timer;
+    std::vector<uint64_t> versions = cloud_->PutBlobBatch(batch);
+    put_batch_us_.RecordAlways(put_timer.ElapsedUs());
     result->puts += batch.size();
     for (size_t j = 0; j < batch.size(); ++j) {
       size_t doc = (round * options_.put_batch + j) % options_.docs_per_cell;
@@ -89,7 +89,7 @@ void FleetRunner::RunCell(size_t cell_index, FleetCellResult* result) {
       std::string blob_id = result->cell_id + "/doc" + std::to_string(doc);
       obs::Stopwatch get_timer;
       auto data = cloud_->GetBlob(blob_id);
-      get_us_.Record(get_timer.ElapsedUs());
+      get_us_.RecordAlways(get_timer.ElapsedUs());
       ++result->gets;
       if (!data.ok()) {
         result->status = data.status();

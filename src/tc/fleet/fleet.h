@@ -49,7 +49,9 @@ struct FleetCellResult {
 
 /// Latency distribution of one operation class over the run, extracted
 /// from the tc::obs histograms (`fleet.put_batch_us` / `fleet.get_us`)
-/// as a delta snapshot scoped to this run.
+/// as a delta snapshot scoped to this run. These histograms record
+/// unconditionally (RecordAlways): the report is the runner's product, so
+/// its latency section must not empty out when obs is switched off.
 struct FleetLatency {
   uint64_t count = 0;
   double p50_us = 0;

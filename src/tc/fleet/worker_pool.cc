@@ -33,7 +33,8 @@ bool WorkerPool::Submit(std::function<void()> task) {
       return shutdown_ || queue_.size() < options_.queue_capacity;
     });
     if (shutdown_) return false;
-    queue_.push_back({std::move(task), obs::detail::SteadyNowUs()});
+    queue_.push_back(
+        {std::move(task), obs::detail::SteadyNowUs(), obs::CurrentContext()});
     queue_depth_.Set(static_cast<int64_t>(queue_.size()));
   }
   work_available_.notify_one();
@@ -91,6 +92,12 @@ void WorkerPool::WorkerLoop() {
     task_wait_us_.Record(obs::detail::SteadyNowUs() - task.enqueue_us);
     {
       obs::ScopedTimer run_timer(&task_run_us_);
+      // Restore the submitter's trace context across the thread hop; the
+      // child-only span then parents everything the task does under the
+      // submitting operation's span (inert when the submitter was
+      // un-traced).
+      obs::ScopedTraceContext ctx(task.ctx);
+      obs::TraceSpan span(obs::kChildOnly, "fleet", "task");
       // The task boundary is an exception firewall: a throwing task must
       // not unwind out of WorkerLoop (std::terminate) nor poison the pool.
       try {

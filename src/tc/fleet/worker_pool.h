@@ -12,6 +12,7 @@
 
 #include "tc/common/status.h"
 #include "tc/obs/metrics.h"
+#include "tc/obs/trace.h"
 
 namespace tc::fleet {
 
@@ -76,6 +77,10 @@ class WorkerPool {
   struct QueuedTask {
     std::function<void()> fn;
     uint64_t enqueue_us = 0;  // Submit time, for the wait-time histogram.
+    // Submitter's trace context, restored in the worker so spans opened by
+    // the task parent under the submitting operation's span (the
+    // cross-thread leg of causal trace propagation).
+    obs::TraceContext ctx;
   };
 
   void WorkerLoop();

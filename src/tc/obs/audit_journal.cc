@@ -1,0 +1,230 @@
+#include "tc/obs/audit_journal.h"
+
+#include <algorithm>
+
+#include "tc/crypto/sha256.h"
+#include "tc/obs/trace.h"
+
+namespace tc::obs {
+namespace {
+
+constexpr uint8_t kTagRecord = 0x01;
+constexpr uint8_t kTagCheckpoint = 0x02;
+constexpr const char* kExportMagic = "tc.obs.journal.v1";
+
+Bytes GenesisHead() {
+  return crypto::Sha256Hash(ToBytes("tc.obs.journal.genesis"));
+}
+
+// The chain absorbs the *tagged* item — tag byte included — so a record
+// reinterpreted as a checkpoint (or vice versa) changes the chain.
+Bytes TaggedItem(uint8_t tag, const Bytes& payload) {
+  BinaryWriter w;
+  w.PutU8(tag);
+  w.PutBytes(payload);
+  return w.Take();
+}
+
+}  // namespace
+
+const char* AuditKindName(AuditKind kind) {
+  switch (kind) {
+    case AuditKind::kPolicyDecision:
+      return "policy_decision";
+    case AuditKind::kIncident:
+      return "incident";
+    case AuditKind::kRecoverySkip:
+      return "recovery_skip";
+    case AuditKind::kAttestation:
+      return "attestation";
+    case AuditKind::kLifecycle:
+      return "lifecycle";
+  }
+  return "unknown";
+}
+
+Bytes AuditRecord::Serialize() const {
+  BinaryWriter w;
+  w.PutU64(index);
+  w.PutI64(time);
+  w.PutU8(static_cast<uint8_t>(kind));
+  w.PutString(subject);
+  w.PutString(action);
+  w.PutString(object);
+  w.PutBool(allowed);
+  w.PutString(detail);
+  w.PutU64(trace_id);
+  w.PutU64(span_id);
+  return w.Take();
+}
+
+Result<AuditRecord> AuditRecord::Deserialize(const Bytes& data) {
+  BinaryReader r(data);
+  AuditRecord rec;
+  TC_ASSIGN_OR_RETURN(rec.index, r.GetU64());
+  TC_ASSIGN_OR_RETURN(rec.time, r.GetI64());
+  TC_ASSIGN_OR_RETURN(uint8_t kind, r.GetU8());
+  if (kind < 1 || kind > 5) {
+    return Status::Corruption("bad audit record kind");
+  }
+  rec.kind = static_cast<AuditKind>(kind);
+  TC_ASSIGN_OR_RETURN(rec.subject, r.GetString());
+  TC_ASSIGN_OR_RETURN(rec.action, r.GetString());
+  TC_ASSIGN_OR_RETURN(rec.object, r.GetString());
+  TC_ASSIGN_OR_RETURN(rec.allowed, r.GetBool());
+  TC_ASSIGN_OR_RETURN(rec.detail, r.GetString());
+  TC_ASSIGN_OR_RETURN(rec.trace_id, r.GetU64());
+  TC_ASSIGN_OR_RETURN(rec.span_id, r.GetU64());
+  if (!r.AtEnd()) return Status::Corruption("trailing audit record bytes");
+  return rec;
+}
+
+Bytes AuditCheckpoint::Serialize() const {
+  BinaryWriter w;
+  w.PutU64(record_count);
+  w.PutBytes(chain_head);
+  w.PutBytes(signature);
+  return w.Take();
+}
+
+Result<AuditCheckpoint> AuditCheckpoint::Deserialize(const Bytes& data) {
+  BinaryReader r(data);
+  AuditCheckpoint cp;
+  TC_ASSIGN_OR_RETURN(cp.record_count, r.GetU64());
+  TC_ASSIGN_OR_RETURN(cp.chain_head, r.GetBytes());
+  TC_ASSIGN_OR_RETURN(cp.signature, r.GetBytes());
+  if (!r.AtEnd()) return Status::Corruption("trailing checkpoint bytes");
+  return cp;
+}
+
+AuditJournal::AuditJournal(AuditJournalOptions options)
+    : options_(std::move(options)), head_(GenesisHead()) {}
+
+void AuditJournal::AbsorbItemLocked(uint8_t tag, const Bytes& payload) {
+  head_ = crypto::Sha256Hash2(head_, TaggedItem(tag, payload));
+  items_.emplace_back(tag, payload);
+}
+
+Status AuditJournal::Append(AuditRecord record) {
+  TraceContext context = CurrentContext();
+  std::lock_guard<std::mutex> lock(mu_);
+  record.index = next_index_++;
+  record.trace_id = context.trace_id;
+  record.span_id = context.span_id;
+  AbsorbItemLocked(kTagRecord, record.Serialize());
+  records_.push_back(std::move(record));
+  if (options_.checkpoint_interval != 0 &&
+      next_index_ % options_.checkpoint_interval == 0) {
+    AuditCheckpoint cp;
+    cp.record_count = next_index_;
+    cp.chain_head = head_;
+    if (options_.signer) {
+      TC_ASSIGN_OR_RETURN(cp.signature, options_.signer(head_, next_index_));
+    }
+    AbsorbItemLocked(kTagCheckpoint, cp.Serialize());
+    ++checkpoints_;
+  }
+  return Status::OK();
+}
+
+uint64_t AuditJournal::record_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_index_;
+}
+
+uint64_t AuditJournal::checkpoint_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return checkpoints_;
+}
+
+Bytes AuditJournal::head() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_;
+}
+
+Bytes AuditJournal::Export() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  BinaryWriter w;
+  w.PutString(kExportMagic);
+  w.PutVarint(items_.size());
+  for (const auto& [tag, payload] : items_) {
+    w.PutU8(tag);
+    w.PutBytes(payload);
+  }
+  return w.Take();
+}
+
+std::vector<AuditRecord> AuditJournal::Tail(size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t start = records_.size() > n ? records_.size() - n : 0;
+  return std::vector<AuditRecord>(records_.begin() + start, records_.end());
+}
+
+AuditVerifyReport AuditJournal::Verify(const Bytes& exported,
+                                       const Bytes* expected_head,
+                                       int64_t expected_count,
+                                       const CheckpointVerifier& verifier) {
+  AuditVerifyReport report;
+  report.head = GenesisHead();
+  auto fail = [&report](const std::string& why) {
+    report.ok = false;
+    report.error = why;
+    return report;
+  };
+
+  BinaryReader r(exported);
+  auto magic = r.GetString();
+  if (!magic.ok() || *magic != kExportMagic) {
+    return fail("bad journal export magic");
+  }
+  auto item_count = r.GetVarint();
+  if (!item_count.ok()) return fail("unreadable item count");
+
+  for (uint64_t i = 0; i < *item_count; ++i) {
+    auto tag = r.GetU8();
+    if (!tag.ok()) return fail("truncated item tag");
+    auto payload = r.GetBytes();
+    if (!payload.ok()) return fail("truncated item payload");
+    if (*tag == kTagRecord) {
+      auto rec = AuditRecord::Deserialize(*payload);
+      if (!rec.ok()) return fail("unparseable record");
+      if (rec->index != report.record_count) {
+        return fail("record index out of order");
+      }
+      ++report.record_count;
+      report.records.push_back(std::move(*rec));
+    } else if (*tag == kTagCheckpoint) {
+      auto cp = AuditCheckpoint::Deserialize(*payload);
+      if (!cp.ok()) return fail("unparseable checkpoint");
+      // The stored head anchors everything before this checkpoint: a
+      // flipped bit, dropped item or swap anywhere upstream lands here.
+      if (cp->record_count != report.record_count) {
+        return fail("checkpoint record count mismatch");
+      }
+      if (cp->chain_head != report.head) {
+        return fail("checkpoint chain head mismatch");
+      }
+      if (verifier) {
+        Status s = verifier(*cp);
+        if (!s.ok()) return fail("checkpoint signature rejected: " +
+                                 s.message());
+      }
+      ++report.checkpoint_count;
+    } else {
+      return fail("unknown item tag");
+    }
+    report.head = crypto::Sha256Hash2(report.head, TaggedItem(*tag, *payload));
+  }
+  if (!r.AtEnd()) return fail("trailing bytes after journal items");
+  if (expected_count >= 0 &&
+      report.record_count != static_cast<uint64_t>(expected_count)) {
+    return fail("journal truncated or padded");
+  }
+  if (expected_head != nullptr && report.head != *expected_head) {
+    return fail("journal head does not match anchor");
+  }
+  report.ok = true;
+  return report;
+}
+
+}  // namespace tc::obs

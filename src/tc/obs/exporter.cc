@@ -1,0 +1,130 @@
+#include "tc/obs/exporter.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace tc::obs {
+namespace {
+
+void AppendEscaped(std::ostringstream& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    char c = *s;
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out << ' ';
+    } else {
+      out << c;
+    }
+  }
+}
+
+void AppendCommonArgs(std::ostringstream& out, const TraceEvent& event) {
+  out << "\"args\":{\"trace\":" << event.trace_id
+      << ",\"span\":" << event.span_id << ",\"parent\":" << event.parent_id
+      << ",\"detail\":\"";
+  AppendEscaped(out, event.detail);
+  out << "\"}";
+}
+
+}  // namespace
+
+std::vector<SpanTree> Exporter::AssembleSpanTrees(
+    const std::vector<TraceEvent>& events) {
+  std::map<uint64_t, SpanTree> trees;
+  for (const TraceEvent& event : events) {
+    if (event.trace_id == 0 || event.kind == TraceKind::kInstant) continue;
+    SpanTree& tree = trees[event.trace_id];
+    tree.trace_id = event.trace_id;
+    AssembledSpan& span = tree.spans[event.span_id];
+    span.trace_id = event.trace_id;
+    span.span_id = event.span_id;
+    span.parent_id = event.parent_id;
+    span.tid = event.tid;
+    span.component = event.component;
+    span.name = event.name;
+    span.detail = event.detail;
+    if (event.kind == TraceKind::kBegin) {
+      span.start_us = event.t_us;
+    } else {  // kEnd: authoritative interval (survives even if kBegin fell
+              // off the ring).
+      span.end_us = event.t_us;
+      span.start_us = event.t_us - event.duration_us;
+      span.complete = true;
+    }
+  }
+  std::vector<SpanTree> out;
+  out.reserve(trees.size());
+  for (auto& [trace_id, tree] : trees) {
+    for (const auto& [span_id, span] : tree.spans) {
+      tree.components.insert(span.component);
+      if (span.parent_id == 0) {
+        tree.roots.push_back(span_id);
+      } else if (tree.spans.find(span.parent_id) == tree.spans.end()) {
+        tree.orphans.push_back(span_id);
+      }
+    }
+    out.push_back(std::move(tree));
+  }
+  return out;
+}
+
+std::string Exporter::ToChromeTraceJson(const std::vector<TraceEvent>& events) {
+  // Spans whose kEnd survived render as one "X" event at the kEnd; their
+  // kBegin (if also retained) is skipped to avoid double-rendering.
+  std::unordered_set<uint64_t> ended;
+  for (const TraceEvent& event : events) {
+    if (event.kind == TraceKind::kEnd) ended.insert(event.span_id);
+  }
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (event.kind == TraceKind::kBegin &&
+        ended.count(event.span_id) != 0) {
+      continue;
+    }
+    if (!first) out << ",";
+    first = false;
+    out << "{\"pid\":1,\"tid\":" << event.tid << ",\"cat\":\"";
+    AppendEscaped(out, event.component);
+    out << "\",\"name\":\"";
+    AppendEscaped(out, event.name);
+    out << "\",";
+    if (event.kind == TraceKind::kEnd) {
+      out << "\"ph\":\"X\",\"ts\":" << (event.t_us - event.duration_us)
+          << ",\"dur\":" << event.duration_us << ",";
+    } else {  // kInstant, or a kBegin whose end fell off the ring.
+      out << "\"ph\":\"i\",\"s\":\"t\",\"ts\":" << event.t_us << ",";
+    }
+    AppendCommonArgs(out, event);
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string Exporter::ToJsonLines(const std::vector<TraceEvent>& events) {
+  std::ostringstream out;
+  for (const TraceEvent& event : events) {
+    const char* ph = event.kind == TraceKind::kBegin  ? "B"
+                     : event.kind == TraceKind::kEnd  ? "E"
+                                                      : "I";
+    out << "{\"seq\":" << event.seq << ",\"ph\":\"" << ph
+        << "\",\"ts\":" << event.t_us << ",\"dur\":" << event.duration_us
+        << ",\"trace\":" << event.trace_id << ",\"span\":" << event.span_id
+        << ",\"parent\":" << event.parent_id << ",\"tid\":" << event.tid
+        << ",\"cat\":\"";
+    AppendEscaped(out, event.component);
+    out << "\",\"name\":\"";
+    AppendEscaped(out, event.name);
+    out << "\",\"detail\":\"";
+    AppendEscaped(out, event.detail);
+    out << "\"}\n";
+  }
+  return out.str();
+}
+
+}  // namespace tc::obs

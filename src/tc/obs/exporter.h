@@ -1,0 +1,71 @@
+#ifndef TC_OBS_EXPORTER_H_
+#define TC_OBS_EXPORTER_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tc/obs/trace.h"
+
+namespace tc::obs {
+
+/// One reassembled span (kBegin/kEnd pair, or an unmatched kBegin whose end
+/// fell off the ring — `complete` is false for those and for spans whose
+/// kBegin was overwritten but whose kEnd survived).
+struct AssembledSpan {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;
+  uint32_t tid = 0;
+  std::string component;
+  std::string name;
+  std::string detail;
+  uint64_t start_us = 0;
+  uint64_t end_us = 0;
+  bool complete = false;
+};
+
+/// All spans of one trace_id, organized parent -> children.
+struct SpanTree {
+  uint64_t trace_id = 0;
+  /// span_id -> span, every span seen for this trace.
+  std::map<uint64_t, AssembledSpan> spans;
+  /// Spans with parent_id == 0 (the trace's root operations).
+  std::vector<uint64_t> roots;
+  /// Spans whose parent_id is nonzero but not present in `spans` (their
+  /// parent fell off the ring).
+  std::vector<uint64_t> orphans;
+  /// Distinct `component` values across the tree — the test for "one
+  /// operation crossed cell, storage, fleet, and cloud" checks this set.
+  std::set<std::string> components;
+
+  /// True when the tree is a single connected component: exactly one root
+  /// and no orphaned spans.
+  bool connected() const { return roots.size() == 1 && orphans.empty(); }
+};
+
+/// Trace-export utilities over TraceEvent snapshots. Stateless; every
+/// function takes the event vector a TraceRing::Snapshot() produced.
+class Exporter {
+ public:
+  /// Reassemble per-trace span trees. Events with trace_id == 0 (emitted
+  /// outside any trace) are ignored; kInstant events are attributed to
+  /// their enclosing span's detail stream but do not create spans.
+  static std::vector<SpanTree> AssembleSpanTrees(
+      const std::vector<TraceEvent>& events);
+
+  /// Chrome trace_event JSON (the {"traceEvents":[...]} wrapper form, loads
+  /// in chrome://tracing and Perfetto). Matched begin/end pairs render as
+  /// one "X" complete event; instants as "i"; a kBegin with no surviving
+  /// kEnd renders as an "i" so nothing is silently lost.
+  static std::string ToChromeTraceJson(const std::vector<TraceEvent>& events);
+
+  /// One JSON object per line with full causal ids (machine-diffable form).
+  static std::string ToJsonLines(const std::vector<TraceEvent>& events);
+};
+
+}  // namespace tc::obs
+
+#endif  // TC_OBS_EXPORTER_H_

@@ -1,0 +1,75 @@
+#ifndef TC_OBS_FLIGHT_RECORDER_H_
+#define TC_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "tc/obs/audit_journal.h"
+#include "tc/obs/metrics.h"
+#include "tc/obs/trace.h"
+
+namespace tc::obs {
+
+/// One incident dump: everything the process knew at the moment something
+/// went wrong, captured in a single call so the three views (trace ring,
+/// metric registry, journal tail) describe the same instant.
+struct FlightDump {
+  uint64_t seq = 0;    ///< Dump ordinal (process-wide).
+  uint64_t t_us = 0;   ///< Steady time of capture.
+  std::string reason;  ///< e.g. "data_loss", "incident:tamper".
+  std::string detail;
+  TraceContext context;  ///< Trace context active on the triggering thread.
+  std::vector<TraceEvent> trace;  ///< Trace-ring snapshot, oldest first.
+  RegistrySnapshot metrics;
+  std::vector<AuditRecord> journal_tail;  ///< Most recent records, if any.
+
+  /// Self-contained JSON blob ({"seq":..,"reason":..,"trace":[...],
+  /// "metrics":{...},"journal_tail":[...]}) — what CrashPointRunner writes
+  /// out and tests parse.
+  std::string ToJson() const;
+};
+
+/// Process-wide incident flight recorder.
+///
+/// Trigger() is called from the failure paths themselves (LogStore data
+/// loss / recovery skips, TrustedCell security incidents), so it must be
+/// callable from any thread, never fail, and never re-enter the subsystem
+/// that failed; it snapshots under its own lock and keeps a bounded deque
+/// of the most recent dumps.
+class FlightRecorder {
+ public:
+  static constexpr size_t kMaxDumps = 64;
+  static constexpr size_t kJournalTail = 64;
+
+  static FlightRecorder& Global();
+
+  FlightRecorder() = default;
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Captures a dump. `journal` may be null (the dump just has no journal
+  /// tail); passing the cell's journal attaches its last kJournalTail
+  /// records.
+  void Trigger(const std::string& reason, const std::string& detail = "",
+               const AuditJournal* journal = nullptr);
+
+  /// All retained dumps, oldest first.
+  std::vector<FlightDump> Dumps() const;
+
+  /// Total Trigger() calls ever (>= Dumps().size(); old dumps rotate out).
+  uint64_t total_triggers() const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<FlightDump> dumps_;  // guarded by mu_.
+  uint64_t total_ = 0;            // guarded by mu_.
+};
+
+}  // namespace tc::obs
+
+#endif  // TC_OBS_FLIGHT_RECORDER_H_

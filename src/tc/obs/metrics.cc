@@ -57,8 +57,11 @@ uint64_t Histogram::BucketUpperBound(size_t index) {
 
 void Histogram::Record(uint64_t value) {
   if (!detail::EnabledFast()) return;
+  RecordAlways(value);
+}
+
+void Histogram::RecordAlways(uint64_t value) {
   buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
   uint64_t prev = max_.load(std::memory_order_relaxed);
   while (value > prev &&
@@ -70,10 +73,11 @@ void Histogram::Record(uint64_t value) {
 HistogramSnapshot Histogram::Snapshot() const {
   HistogramSnapshot snap;
   snap.buckets.resize(kBucketCount);
+  snap.count = 0;
   for (size_t i = 0; i < kBucketCount; ++i) {
     snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[i];
   }
-  snap.count = count_.load(std::memory_order_relaxed);
   snap.sum = sum_.load(std::memory_order_relaxed);
   snap.max = max_.load(std::memory_order_relaxed);
   return snap;
@@ -81,7 +85,6 @@ HistogramSnapshot Histogram::Snapshot() const {
 
 void Histogram::Reset() {
   for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
-  count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
   max_.store(0, std::memory_order_relaxed);
 }
@@ -102,7 +105,7 @@ double HistogramSnapshot::Percentile(double p) const {
           std::min(Histogram::BucketUpperBound(i), max));
     }
   }
-  return static_cast<double>(max);  // count raced ahead of the buckets.
+  return static_cast<double>(max);  // Unreachable: count = sum of buckets.
 }
 
 HistogramSnapshot HistogramSnapshot::Minus(
@@ -175,8 +178,9 @@ RegistrySnapshot MetricRegistry::Snapshot() const {
   return snap;
 }
 
-std::string MetricRegistry::ToJson() const {
-  RegistrySnapshot snap = Snapshot();
+std::string MetricRegistry::ToJson() const { return obs::ToJson(Snapshot()); }
+
+std::string ToJson(const RegistrySnapshot& snap) {
   std::ostringstream out;
   out << "{\"counters\":{";
   bool first = true;

@@ -31,6 +31,22 @@ uint64_t SteadyNowUs();
 }  // namespace detail
 
 /// Monotonic counter. Relaxed atomic; safe from any thread.
+///
+/// Snapshot-vs-Reset semantics (shared by Gauge and Histogram): Value() /
+/// Snapshot() taken concurrently with writers sees each atomic at some
+/// point in time — never a torn value — but a Reset() racing a snapshot
+/// may land between two metrics (or, for Histogram, between the buckets
+/// and the sum), so *cross-field* totals can skew transiently. This is
+/// by design: Reset is a bench/test isolation tool, not a production
+/// operation, and export-under-load must stay wait-free for writers.
+/// The invariants exports MAY rely on, even under concurrent writes:
+/// every individual value is a real value some writer produced (no tears),
+/// counters are monotone between resets, and a Histogram snapshot's
+/// per-bucket counts never exceed what writers recorded. The invariant
+/// they may NOT rely on: sum/count/bucket totals agreeing exactly with
+/// each other while writers or Reset are mid-flight (a histogram's count
+/// is derived from its buckets at snapshot time, so count and buckets at
+/// least always agree with each other).
 class Counter {
  public:
   void Increment(uint64_t n = 1) {
@@ -91,8 +107,11 @@ struct HistogramSnapshot {
 /// exact buckets; from 4 up, each power-of-two octave is split into 4
 /// linear sub-buckets, so a bucket spans at most a 5/4 ratio — percentile
 /// error is bounded at 25% of the value, with 256 buckets covering the full
-/// uint64 range. Recording is wait-free: one relaxed fetch_add per bucket /
-/// count / sum plus a CAS loop for max.
+/// uint64 range. Recording is wait-free: one relaxed fetch_add each for the
+/// bucket and the sum, plus a load-then-CAS for max (the CAS is skipped on
+/// the common non-record-breaking path). There is no separate count cell —
+/// a snapshot's count is the sum of its bucket counts, which also removes
+/// one atomic RMW from every record on the per-operation tracing path.
 ///
 /// Unit is whatever the caller records — microseconds everywhere in this
 /// code base.
@@ -102,6 +121,15 @@ class Histogram {
   static constexpr size_t kBucketCount = 256;  // Covers all of uint64.
 
   void Record(uint64_t value);
+
+  /// Record that bypasses the global enable switch. For measurement
+  /// apparatus whose *product* is the recorded distribution (e.g.
+  /// FleetRunner's report latencies): such histograms must fill even when
+  /// the instrumentation registry is switched off, or the harness's own
+  /// output would change with the obs mode. Same wait-free race semantics
+  /// as Record.
+  void RecordAlways(uint64_t value);
+
   HistogramSnapshot Snapshot() const;
   void Reset();
 
@@ -113,7 +141,6 @@ class Histogram {
 
  private:
   std::atomic<uint64_t> buckets_[kBucketCount]{};
-  std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> sum_{0};
   std::atomic<uint64_t> max_{0};
 };
@@ -125,6 +152,11 @@ struct RegistrySnapshot {
   std::map<std::string, int64_t> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
 };
+
+/// Serializes an already-taken snapshot — same JSON shape as
+/// MetricRegistry::ToJson, usable on a snapshot captured atomically with
+/// other state (e.g. inside a flight-recorder dump).
+std::string ToJson(const RegistrySnapshot& snapshot);
 
 /// Thread-safe name -> metric registry. Lookup takes a shared lock and
 /// returns a reference that stays valid for the registry's lifetime —

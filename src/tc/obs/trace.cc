@@ -1,16 +1,18 @@
 #include "tc/obs/trace.h"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 
 namespace tc::obs {
 namespace {
 
-void CopyTruncated(char* dst, size_t dst_size, const std::string& src) {
+void CopyTruncated(char* dst, size_t dst_size, std::string_view src) {
   size_t n = std::min(src.size(), dst_size - 1);
   std::memcpy(dst, src.data(), n);
   dst[n] = '\0';
 }
+
 
 const char* KindName(TraceKind kind) {
   switch (kind) {
@@ -24,45 +26,170 @@ const char* KindName(TraceKind kind) {
   return "?";
 }
 
+// All per-thread tracing state lives in ONE thread-local struct (one
+// cache line, one TLS base computation) instead of separate thread_locals
+// for context, tid and span-id block: a span per operation touches this
+// state several times, and on a hot path with a streaming working set
+// every extra thread-local is an extra cold line.
+struct alignas(64) ThreadTraceState {
+  TraceContext context;
+  uint32_t tid = 0;           // Dense ordinal; 0 = not yet assigned.
+  uint64_t next_span_id = 0;  // Remaining block: [next_span_id, span_id_end)
+  uint64_t span_id_end = 0;
+};
+thread_local ThreadTraceState t_state;
+
+// Ids start at 1; 0 means "none". trace_id and span_id draw from separate
+// counters so a trace_id never collides with a span_id within it.
+std::atomic<uint64_t> g_next_trace_id{1};
+std::atomic<uint64_t> g_next_span_id{1};
+std::atomic<uint32_t> g_next_tid{1};
+
+uint64_t MintTraceId() {
+  return g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Span ids are minted from thread-local blocks so the hot path never
+// touches a shared cache line (a fleet of workers opening a span per
+// operation would otherwise ping-pong the global counter). Ids stay
+// globally unique; a thread that exits simply strands the rest of its
+// block, which a 64-bit space absorbs forever.
+uint64_t MintSpanId() {
+  constexpr uint64_t kBlock = 256;
+  if (t_state.next_span_id == t_state.span_id_end) {
+    t_state.next_span_id =
+        g_next_span_id.fetch_add(kBlock, std::memory_order_relaxed);
+    t_state.span_id_end = t_state.next_span_id + kBlock;
+  }
+  return t_state.next_span_id++;
+}
+
+// Dense thread ordinal for trace events (chrome://tracing groups rows by
+// pid/tid; std::thread::id is opaque and unstable across runs).
+uint32_t CurrentTid() {
+  if (t_state.tid == 0) {
+    t_state.tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  }
+  return t_state.tid;
+}
+
 }  // namespace
 
-TraceRing::TraceRing(size_t capacity) : slots_(capacity == 0 ? 1 : capacity) {}
+TraceContext CurrentContext() { return t_state.context; }
+
+void SetCurrentContext(const TraceContext& context) {
+  t_state.context = context;
+}
+
+TraceRing::TraceRing(size_t capacity) {
+  if (capacity == 0) capacity = 1;
+  shard_count_ =
+      (capacity >= kShards && capacity % kShards == 0) ? kShards : 1;
+  shard_capacity_ = capacity / shard_count_;
+  shards_ = std::make_unique<Shard[]>(shard_count_);
+  for (size_t i = 0; i < shard_count_; ++i) {
+    shards_[i].slots.resize(shard_capacity_);
+    shards_[i].slot_seq.assign(shard_capacity_, 0);
+  }
+}
 
 TraceRing& TraceRing::Global() {
   static TraceRing* ring = new TraceRing();  // Never destroyed.
   return *ring;
 }
 
-void TraceRing::Emit(TraceKind kind, const std::string& component,
-                     const std::string& name, const std::string& detail,
+void TraceRing::Emit(TraceKind kind, std::string_view component,
+                     std::string_view name, std::string_view detail,
                      uint64_t duration_us) {
   if (!detail::EnabledFast()) return;
-  uint64_t t_us = detail::SteadyNowUs();
-  std::lock_guard<std::mutex> lock(mu_);
-  TraceEvent& slot = slots_[next_seq_ % slots_.size()];
-  slot.seq = next_seq_++;
-  slot.t_us = t_us;
-  slot.duration_us = duration_us;
-  slot.kind = kind;
-  CopyTruncated(slot.component, sizeof(slot.component), component);
-  CopyTruncated(slot.name, sizeof(slot.name), name);
-  CopyTruncated(slot.detail, sizeof(slot.detail), detail);
+  EmitAt(detail::SteadyNowUs(), kind, component, name, detail, duration_us);
+}
+
+void TraceRing::EmitAt(uint64_t t_us, TraceKind kind,
+                       std::string_view component, std::string_view name,
+                       std::string_view detail, uint64_t duration_us) {
+  EmitAt(t_state.context, t_us, kind, component, name, detail, duration_us);
+}
+
+void TraceRing::EmitAt(const TraceContext& context, uint64_t t_us,
+                       TraceKind kind, std::string_view component,
+                       std::string_view name, std::string_view detail,
+                       uint64_t duration_us) {
+  if (!detail::EnabledFast()) return;
+  // Assemble the event on the stack (hot lines) first: the slot itself is
+  // written with streaming stores and never read on this path.
+  TraceEvent staged;
+  staged.t_us = t_us;
+  staged.duration_us = duration_us;
+  staged.trace_id = context.trace_id;
+  staged.span_id = context.span_id;
+  staged.parent_id = context.parent_id;
+  staged.tid = CurrentTid();
+  staged.kind = kind;
+  CopyTruncated(staged.component, sizeof(staged.component), component);
+  CopyTruncated(staged.name, sizeof(staged.name), name);
+  CopyTruncated(staged.detail, sizeof(staged.detail), detail);
+  uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  staged.seq = seq;
+  Shard& shard = shards_[seq % shard_count_];
+  size_t index = (seq / shard_count_) % shard_capacity_;
+  std::lock_guard<ShardLock> lock(shard.mu);
+  if (shard.slot_seq[index] > seq + 1) {
+    // A writer that lapped us (same slot, seq + k*capacity) already landed:
+    // our event is older than the ring's retention window, so dropping it
+    // keeps every slot monotone in seq and the retained window contiguous.
+    return;
+  }
+  shard.slot_seq[index] = seq + 1;
+  shard.slots[index] = staged;
+}
+
+void TraceRing::PrefetchForEmit() const {
+  // Concurrent emitters may claim a few seqs before ours lands; cover a
+  // small window of upcoming slots (they live in different shards).
+  uint64_t seq = next_seq_.load(std::memory_order_relaxed);
+  for (uint64_t s = seq; s < seq + 3; ++s) {
+    const Shard& shard = shards_[s % shard_count_];
+    size_t index = (s / shard_count_) % shard_capacity_;
+    const char* slot = reinterpret_cast<const char*>(&shard.slots[index]);
+    __builtin_prefetch(slot, 1);
+    __builtin_prefetch(slot + 64, 1);
+    __builtin_prefetch(&shard.slot_seq[index], 1);
+  }
 }
 
 std::vector<TraceEvent> TraceRing::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < shard_count_; ++i) shards_[i].mu.lock();
   std::vector<TraceEvent> out;
-  uint64_t retained = std::min<uint64_t>(next_seq_, slots_.size());
-  out.reserve(retained);
-  for (uint64_t seq = next_seq_ - retained; seq < next_seq_; ++seq) {
-    out.push_back(slots_[seq % slots_.size()]);
+  out.reserve(capacity());
+  for (size_t i = 0; i < shard_count_; ++i) {
+    const Shard& shard = shards_[i];
+    for (size_t j = 0; j < shard_capacity_; ++j) {
+      if (shard.slot_seq[j] != 0) out.push_back(shard.slots[j]);
+    }
   }
+  for (size_t i = 0; i < shard_count_; ++i) shards_[i].mu.unlock();
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.seq < b.seq;
+            });
   return out;
 }
 
 uint64_t TraceRing::total_emitted() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return next_seq_;
+  return next_seq_.load(std::memory_order_relaxed);
+}
+
+uint64_t TraceRing::dropped() const {
+  uint64_t retained = 0;
+  for (size_t i = 0; i < shard_count_; ++i) {
+    std::lock_guard<ShardLock> lock(shards_[i].mu);
+    const std::vector<uint64_t>& seqs = shards_[i].slot_seq;
+    retained += static_cast<uint64_t>(seqs.size()) -
+                static_cast<uint64_t>(std::count(seqs.begin(), seqs.end(),
+                                                 uint64_t{0}));
+  }
+  return next_seq_.load(std::memory_order_relaxed) - retained;
 }
 
 std::string TraceRing::ToJsonLines() const {
@@ -70,6 +197,8 @@ std::string TraceRing::ToJsonLines() const {
   for (const TraceEvent& event : Snapshot()) {
     out << "{\"seq\":" << event.seq << ",\"ph\":\"" << KindName(event.kind)
         << "\",\"ts\":" << event.t_us << ",\"dur\":" << event.duration_us
+        << ",\"trace\":" << event.trace_id << ",\"span\":" << event.span_id
+        << ",\"parent\":" << event.parent_id << ",\"tid\":" << event.tid
         << ",\"cat\":\"" << event.component << "\",\"name\":\"" << event.name
         << "\",\"args\":\"" << event.detail << "\"}\n";
   }
@@ -77,9 +206,57 @@ std::string TraceRing::ToJsonLines() const {
 }
 
 void TraceRing::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  next_seq_ = 0;
-  std::fill(slots_.begin(), slots_.end(), TraceEvent{});
+  for (size_t i = 0; i < shard_count_; ++i) shards_[i].mu.lock();
+  for (size_t i = 0; i < shard_count_; ++i) {
+    shards_[i].slot_seq.assign(shard_capacity_, 0);
+  }
+  next_seq_.store(0, std::memory_order_relaxed);
+  for (size_t i = 0; i < shard_count_; ++i) shards_[i].mu.unlock();
+}
+
+TraceSpan::TraceSpan(std::string_view component, std::string_view name,
+                     std::string_view detail, bool child_only,
+                     Histogram* latency)
+    : histogram_(latency) {
+  // The timer half is live regardless of the enable switch (mirroring
+  // ScopedTimer: clock reads happen, the Record itself is gated), and its
+  // clock reads double as the span's timestamps.
+  if (histogram_ != nullptr) start_us_ = detail::SteadyNowUs();
+  if (!detail::EnabledFast()) return;
+  saved_ = t_state.context;
+  if (child_only && !saved_.active()) return;  // Inert below the surface.
+  active_ = true;
+  child_only_ = child_only;
+  context_.trace_id = saved_.active() ? saved_.trace_id : MintTraceId();
+  context_.parent_id = saved_.span_id;  // 0 when this span roots the trace.
+  context_.span_id = MintSpanId();
+  CopyTruncated(component_, sizeof(component_), component);
+  CopyTruncated(name_, sizeof(name_), name);
+  CopyTruncated(detail_, sizeof(detail_), detail);
+  // Install before emitting so kBegin/kEnd (and any instants emitted while
+  // this span is open) are stamped with this span's ids by Emit itself.
+  t_state.context = context_;
+  // Start pulling the kEnd slot's cold lines in now; the fills overlap
+  // the span's own work instead of stalling the scope-exit emit.
+  TraceRing::Global().PrefetchForEmit();
+  if (histogram_ == nullptr) start_us_ = detail::SteadyNowUs();
+  if (!child_only_) {
+    TraceRing::Global().EmitAt(context_, start_us_, TraceKind::kBegin,
+                               component_, name_, detail_);
+  }
+}
+
+TraceSpan::~TraceSpan() {
+  if (histogram_ == nullptr && !active_) return;
+  uint64_t end_us = detail::SteadyNowUs();
+  if (histogram_ != nullptr) histogram_->Record(end_us - start_us_);
+  if (!active_) return;
+  // The kEnd event carries this span's context explicitly, so it is
+  // stamped correctly even if nested code left a different thread-local
+  // context behind on an abnormal unwind.
+  TraceRing::Global().EmitAt(context_, end_us, TraceKind::kEnd, component_,
+                             name_, detail_, end_us - start_us_);
+  t_state.context = saved_;
 }
 
 }  // namespace tc::obs

@@ -1,15 +1,55 @@
 #ifndef TC_OBS_TRACE_H_
 #define TC_OBS_TRACE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
-#include <mutex>
+#include <memory>
 #include <string>
+#include <string_view>
+#include <thread>
 #include <vector>
 
 #include "tc/obs/metrics.h"
 
 namespace tc::obs {
+
+/// Causal trace context threaded through the stack: minted at the cell API
+/// surface (or any other entry point that opens a plain TraceSpan with no
+/// context active), inherited by every nested span, and carried across
+/// thread boundaries explicitly (WorkerPool captures it at Submit and
+/// restores it in the worker via ScopedTraceContext). trace_id == 0 means
+/// "no trace active"; id 0 is never allocated.
+struct TraceContext {
+  uint64_t trace_id = 0;   ///< One id per top-level operation.
+  uint64_t span_id = 0;    ///< The innermost open span.
+  uint64_t parent_id = 0;  ///< That span's parent (0 for a root span).
+
+  bool active() const { return trace_id != 0; }
+};
+
+/// The calling thread's current context (inactive when no span is open on
+/// this thread and nothing was restored via ScopedTraceContext).
+TraceContext CurrentContext();
+void SetCurrentContext(const TraceContext& context);
+
+/// RAII cross-thread handoff: installs `context` for the current scope and
+/// restores whatever was current before. Used by task-execution substrates
+/// (WorkerPool) so spans opened inside a task parent correctly under the
+/// submitter's span.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& context)
+      : saved_(CurrentContext()) {
+    SetCurrentContext(context);
+  }
+  ~ScopedTraceContext() { SetCurrentContext(saved_); }
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
 
 enum class TraceKind : uint8_t {
   kBegin = 1,    ///< Span opened.
@@ -19,20 +59,41 @@ enum class TraceKind : uint8_t {
 
 /// One trace event. Strings are stored inline (truncated) so the ring
 /// never allocates after construction and a snapshot is a plain copy.
-struct TraceEvent {
+/// Every event is stamped with the emitting thread's TraceContext (zeros
+/// when none is active) and a small dense thread id, which is what lets
+/// the exporter reassemble one connected span tree per trace.
+///
+/// The layout is exactly two cache lines (128 bytes, 64-aligned): a ring
+/// emission is a streaming write of a cold slot, so every extra line the
+/// slot spans is an extra line fill on the per-operation tracing path.
+/// The string widths are sized to the longest identifiers in the tree
+/// ("read_shared_document", "fleet/cell63/doc31") with a little slack.
+struct alignas(64) TraceEvent {
   uint64_t seq = 0;          ///< Global emission order.
   uint64_t t_us = 0;         ///< Steady microseconds since process start.
   uint64_t duration_us = 0;  ///< kEnd only: span duration.
+  uint64_t trace_id = 0;     ///< Causal trace this event belongs to.
+  uint64_t span_id = 0;      ///< Innermost span at emission time.
+  uint64_t parent_id = 0;    ///< That span's parent span.
+  uint32_t tid = 0;          ///< Dense per-process thread ordinal.
   TraceKind kind = TraceKind::kInstant;
   char component[16] = {};  ///< Subsystem ("storage", "cloud", "cell"...).
-  char name[32] = {};       ///< Operation ("recover", "sync_pull"...).
-  char detail[48] = {};     ///< Free-form (cell id, object id...).
+  char name[24] = {};       ///< Operation ("recover", "sync_pull"...).
+  char detail[35] = {};     ///< Free-form (cell id, object id...).
 };
+static_assert(sizeof(TraceEvent) == 128, "TraceEvent must stay 2 lines");
 
-/// Fixed-capacity ring of the most recent trace events. Writes take a
-/// mutex — tracing is for coarse operations (recovery, GC, sync, security
-/// incidents), NOT the per-record hot path; the hot path is covered by the
-/// relaxed-atomic histograms in metrics.h.
+/// Fixed-capacity ring of the most recent trace events.
+///
+/// The ring is striped: a global atomic counter orders events, and seq N
+/// lands in shard N % kShards, each shard behind its own spinlock.
+/// Consecutive emissions therefore take *different* locks, so concurrent
+/// writers almost never contend — this is what keeps span emission cheap
+/// enough for per-operation tracing on the fleet path. Shard k retains
+/// the most recent slots of the seqs congruent to k, so the union across
+/// shards is still exactly the last `capacity` events, contiguous in seq;
+/// and because a slot is only written under its shard's lock, a snapshot
+/// can never observe a torn event.
 class TraceRing {
  public:
   static constexpr size_t kDefaultCapacity = 4096;
@@ -42,9 +103,23 @@ class TraceRing {
   /// Process-wide ring all subsystems emit into.
   static TraceRing& Global();
 
-  void Emit(TraceKind kind, const std::string& component,
-            const std::string& name, const std::string& detail = "",
+  void Emit(TraceKind kind, std::string_view component,
+            std::string_view name, std::string_view detail = {},
             uint64_t duration_us = 0);
+
+  /// Emit with a caller-supplied timestamp. TraceSpan uses this so the
+  /// clock reads it already does for durations double as event stamps.
+  void EmitAt(uint64_t t_us, TraceKind kind, std::string_view component,
+              std::string_view name, std::string_view detail = {},
+              uint64_t duration_us = 0);
+
+  /// Emit with a caller-supplied timestamp AND context. TraceSpan passes
+  /// its own context here so the per-span hot path skips the thread-local
+  /// context re-read (and the dtor skips re-installing it just for the
+  /// kEnd event).
+  void EmitAt(const TraceContext& context, uint64_t t_us, TraceKind kind,
+              std::string_view component, std::string_view name,
+              std::string_view detail = {}, uint64_t duration_us = 0);
 
   /// Events currently retained, oldest first.
   std::vector<TraceEvent> Snapshot() const;
@@ -53,38 +128,137 @@ class TraceRing {
   /// how many the ring has overwritten).
   uint64_t total_emitted() const;
 
-  size_t capacity() const { return slots_.size(); }
+  /// Events the ring has overwritten (total_emitted() - retained).
+  uint64_t dropped() const;
+
+  size_t capacity() const { return shard_count_ * shard_capacity_; }
 
   /// One JSON object per line (chrome://tracing-like fields).
   std::string ToJsonLines() const;
 
+  /// Resets the ring. Callers quiesce their emitters first (a writer that
+  /// claimed a sequence number before the clear may still land one stale
+  /// event after it).
   void Clear();
 
+  /// Prefetches the lines the next emission will write. A span on a hot
+  /// path calls this at construction: its kEnd lands at scope exit, so
+  /// the ring's cold slot lines are filled while the span's own work
+  /// runs instead of stalling the emit. Prefetching a line another
+  /// writer claims first is harmless.
+  void PrefetchForEmit() const;
+
  private:
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> slots_;  // guarded by mu_.
-  uint64_t next_seq_ = 0;          // guarded by mu_.
+  // 16 stripes when the capacity divides evenly (the global ring's 4096
+  // does); tiny test rings fall back to a single stripe so their exact
+  // requested capacity is preserved.
+  static constexpr size_t kShards = 16;
+
+  // Test-and-test-and-set spinlock. A shard critical section is one slot
+  // copy (~150 bytes), so a spinlock beats std::mutex twice over: the
+  // uncontended path is one inlined exchange + one store (no libpthread
+  // call), and a waiter never parks in the kernel for a hold measured in
+  // nanoseconds. The yield bounds the pathological case of a holder being
+  // preempted mid-copy on an oversubscribed host.
+  class ShardLock {
+   public:
+    void lock() {
+      while (flag_.exchange(true, std::memory_order_acquire)) {
+        for (int spins = 0; flag_.load(std::memory_order_relaxed); ++spins) {
+          if (spins >= 64) {
+            std::this_thread::yield();
+            spins = 0;
+          }
+        }
+      }
+    }
+    void unlock() { flag_.store(false, std::memory_order_release); }
+
+   private:
+    std::atomic<bool> flag_{false};
+  };
+
+  struct Shard {
+    mutable ShardLock mu;
+    std::vector<TraceEvent> slots;  // shard_capacity_ entries; under mu.
+    // seq + 1 of the event each slot holds, 0 when empty. Kept outside
+    // the slots as one compact array (a cache line covers 8 slots) so
+    // the emit path's occupancy + lap check reads one hot line and the
+    // slot itself is a pure write target. Under mu.
+    std::vector<uint64_t> slot_seq;
+  };
+
+  size_t shard_count_;
+  size_t shard_capacity_;
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<uint64_t> next_seq_{0};
 };
 
-/// RAII span: emits kBegin at construction and kEnd (with duration) at
-/// scope exit into the global ring.
+/// Tag selecting the child-only TraceSpan constructor.
+struct ChildOnlyTag {};
+inline constexpr ChildOnlyTag kChildOnly{};
+
+/// RAII span that installs itself as the thread's current TraceContext
+/// for its lifetime.
+///
+/// The plain constructor *mints* a new trace when no context is active —
+/// this is how a trace is born at the cell API surface — and otherwise
+/// parents under the active span. It emits kBegin at construction and
+/// kEnd (with duration) at scope exit, so an in-progress top-level
+/// operation is visible in the ring while it runs.
+///
+/// The kChildOnly variant participates only when a trace is already
+/// active and is fully inert otherwise; it is the form used on layers
+/// below the API surface (storage, cloud, worker tasks) so that un-traced
+/// hot-path callers pay two relaxed loads and nothing else. An active
+/// child span emits a single kEnd event at scope exit — the exporter
+/// treats kEnd as the authoritative interval (start = t - duration), so
+/// the span tree loses nothing and the traced hot path pays exactly one
+/// ring append per span.
 class TraceSpan {
  public:
-  TraceSpan(const std::string& component, const std::string& name,
-            const std::string& detail = "")
-      : component_(component), name_(name), detail_(detail) {
-    TraceRing::Global().Emit(TraceKind::kBegin, component_, name_, detail_);
-  }
-  ~TraceSpan() {
-    TraceRing::Global().Emit(TraceKind::kEnd, component_, name_, detail_,
-                             stopwatch_.ElapsedUs());
-  }
+  TraceSpan(std::string_view component, std::string_view name,
+            std::string_view detail = {})
+      : TraceSpan(component, name, detail, /*child_only=*/false, nullptr) {}
+
+  TraceSpan(ChildOnlyTag, std::string_view component, std::string_view name,
+            std::string_view detail = {})
+      : TraceSpan(component, name, detail, /*child_only=*/true, nullptr) {}
+
+  /// Child-only span that doubles as a latency timer: records its duration
+  /// into `latency` at scope exit (subject to the same enable switch as
+  /// any Record). The span and the timer share one pair of clock reads —
+  /// this is the replacement for the span+ScopedTimer pattern on provider
+  /// hot paths, where the second pair of clock reads was pure overhead.
+  /// The timer half behaves exactly like ScopedTimer: it times even when
+  /// no trace is active (the histogram fills for un-traced callers).
+  TraceSpan(ChildOnlyTag, std::string_view component, std::string_view name,
+            std::string_view detail, Histogram* latency)
+      : TraceSpan(component, name, detail, /*child_only=*/true, latency) {}
+
+  ~TraceSpan();
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
+  /// This span's context ({trace, self, parent}); inactive if the span is
+  /// inert (disabled, or child-only with no trace active).
+  const TraceContext& context() const { return context_; }
+
  private:
-  std::string component_, name_, detail_;
-  Stopwatch stopwatch_;
+  TraceSpan(std::string_view component, std::string_view name,
+            std::string_view detail, bool child_only, Histogram* latency);
+
+  bool active_ = false;
+  bool child_only_ = false;
+  Histogram* histogram_ = nullptr;
+  TraceContext context_;
+  TraceContext saved_;
+  // Inline copies (truncated to the TraceEvent field widths) so an active
+  // span never allocates.
+  char component_[16] = {};
+  char name_[24] = {};
+  char detail_[35] = {};
+  uint64_t start_us_ = 0;
 };
 
 }  // namespace tc::obs

@@ -4,94 +4,138 @@
 #include "tc/crypto/sha256.h"
 
 namespace tc::policy {
+namespace {
 
-Bytes AuditEntry::Serialize() const {
+constexpr const char* kExportMagic = "tc.audit.export.v2";
+
+// AEAD associated data for a sealed export: binds the record count and the
+// chain head, so the anchors VerifyAndDecrypt hands to the journal walk
+// are themselves integrity-protected.
+Bytes ExportAad(uint64_t record_count, const Bytes& chain_head) {
   BinaryWriter w;
-  w.PutU64(index);
-  w.PutI64(time);
-  w.PutString(subject);
-  w.PutString(action);
-  w.PutString(object);
-  w.PutBool(allowed);
-  w.PutString(detail);
+  w.PutString("tc.audit.v2");
+  w.PutU64(record_count);
+  w.PutBytes(chain_head);
   return w.Take();
 }
 
-Result<AuditEntry> AuditEntry::Deserialize(const Bytes& data) {
+std::string CheckpointClaims(uint64_t record_count) {
+  return "tc.audit.checkpoint." + std::to_string(record_count);
+}
+
+}  // namespace
+
+Bytes SerializeQuote(const tee::Quote& quote) {
+  BinaryWriter w;
+  w.PutString(quote.device_id);
+  w.PutBytes(quote.nonce);
+  w.PutString(quote.claims);
+  w.PutU64(quote.boot_counter);
+  w.PutBytes(quote.signature.Serialize(32));
+  return w.Take();
+}
+
+Result<tee::Quote> DeserializeQuote(const Bytes& data) {
   BinaryReader r(data);
-  AuditEntry e;
-  TC_ASSIGN_OR_RETURN(e.index, r.GetU64());
-  TC_ASSIGN_OR_RETURN(e.time, r.GetI64());
-  TC_ASSIGN_OR_RETURN(e.subject, r.GetString());
-  TC_ASSIGN_OR_RETURN(e.action, r.GetString());
-  TC_ASSIGN_OR_RETURN(e.object, r.GetString());
-  TC_ASSIGN_OR_RETURN(e.allowed, r.GetBool());
-  TC_ASSIGN_OR_RETURN(e.detail, r.GetString());
-  return e;
+  tee::Quote quote;
+  TC_ASSIGN_OR_RETURN(quote.device_id, r.GetString());
+  TC_ASSIGN_OR_RETURN(quote.nonce, r.GetBytes());
+  TC_ASSIGN_OR_RETURN(quote.claims, r.GetString());
+  TC_ASSIGN_OR_RETURN(quote.boot_counter, r.GetU64());
+  TC_ASSIGN_OR_RETURN(Bytes sig, r.GetBytes());
+  TC_ASSIGN_OR_RETURN(quote.signature,
+                      crypto::SchnorrSignature::Deserialize(sig));
+  if (!r.AtEnd()) return Status::Corruption("trailing quote bytes");
+  return quote;
+}
+
+obs::CheckpointVerifier QuoteCheckpointVerifier(
+    const tee::Endorsement& endorsement,
+    const tee::Manufacturer& manufacturer) {
+  return [&endorsement, &manufacturer](const obs::AuditCheckpoint& cp) {
+    auto quote = DeserializeQuote(cp.signature);
+    if (!quote.ok()) return quote.status();
+    if (quote->nonce != cp.chain_head) {
+      return Status::IntegrityViolation("quote nonce != checkpoint head");
+    }
+    if (quote->claims != CheckpointClaims(cp.record_count)) {
+      return Status::IntegrityViolation("quote claims mismatch");
+    }
+    if (!tee::TrustedExecutionEnvironment::VerifyQuote(*quote, endorsement,
+                                                       manufacturer)) {
+      return Status::IntegrityViolation("checkpoint quote signature invalid");
+    }
+    return Status::OK();
+  };
 }
 
 AuditLog::AuditLog(tee::TrustedExecutionEnvironment* tee, std::string key_name)
-    : tee_(tee),
-      key_name_(std::move(key_name)),
-      head_hash_(crypto::Sha256Hash(ToBytes("tc.audit.genesis"))) {}
-
-Bytes AuditLog::ChainAad(uint64_t index, const Bytes& prev_hash) {
-  BinaryWriter w;
-  w.PutString("tc.audit.v1");
-  w.PutU64(index);
-  w.PutBytes(prev_hash);
-  return w.Take();
-}
+    : tee_(tee), key_name_(std::move(key_name)), journal_([this] {
+        obs::AuditJournalOptions options;
+        options.checkpoint_interval = kCheckpointInterval;
+        options.signer = [this](const Bytes& head,
+                                uint64_t count) -> Result<Bytes> {
+          return SerializeQuote(
+              tee_->GenerateQuote(head, CheckpointClaims(count)));
+        };
+        return options;
+      }()) {}
 
 Status AuditLog::Append(const AuditEntry& entry) {
-  AuditEntry stamped = entry;
-  stamped.index = next_index_;
-  TC_ASSIGN_OR_RETURN(
-      Bytes sealed,
-      tee_->Seal(key_name_, ChainAad(next_index_, head_hash_),
-                 stamped.Serialize()));
-  head_hash_ = crypto::Sha256Hash2(head_hash_, sealed);
-  sealed_entries_.push_back(std::move(sealed));
-  ++next_index_;
-  return Status::OK();
+  obs::AuditRecord record;
+  record.time = entry.time;
+  record.kind = obs::AuditKind::kPolicyDecision;
+  record.subject = entry.subject;
+  record.action = entry.action;
+  record.object = entry.object;
+  record.allowed = entry.allowed;
+  record.detail = entry.detail;
+  return journal_.Append(std::move(record));
 }
 
-Bytes AuditLog::Export() const {
+Result<Bytes> AuditLog::Export() const {
+  uint64_t count = journal_.record_count();
+  Bytes head = journal_.head();
+  TC_ASSIGN_OR_RETURN(
+      Bytes sealed,
+      tee_->Seal(key_name_, ExportAad(count, head), journal_.Export()));
   BinaryWriter w;
-  w.PutString("tc.audit.export.v1");
-  w.PutVarint(sealed_entries_.size());
-  for (const Bytes& sealed : sealed_entries_) w.PutBytes(sealed);
+  w.PutString(kExportMagic);
+  w.PutU64(count);
+  w.PutBytes(head);
+  w.PutBytes(sealed);
   return w.Take();
 }
 
-Result<std::vector<AuditEntry>> AuditLog::VerifyAndDecrypt(
+Result<std::vector<obs::AuditRecord>> AuditLog::VerifyAndDecrypt(
     const Bytes& exported, tee::TrustedExecutionEnvironment* tee,
-    const std::string& key_name, int64_t expected_count) {
+    const std::string& key_name, int64_t expected_count,
+    const obs::CheckpointVerifier& verifier) {
   BinaryReader r(exported);
   TC_ASSIGN_OR_RETURN(std::string magic, r.GetString());
-  if (magic != "tc.audit.export.v1") {
+  if (magic != kExportMagic) {
     return Status::Corruption("bad audit export magic");
   }
-  TC_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
-  if (expected_count >= 0 && n != static_cast<uint64_t>(expected_count)) {
+  TC_ASSIGN_OR_RETURN(uint64_t count, r.GetU64());
+  TC_ASSIGN_OR_RETURN(Bytes head, r.GetBytes());
+  TC_ASSIGN_OR_RETURN(Bytes sealed, r.GetBytes());
+  if (!r.AtEnd()) return Status::Corruption("trailing audit export bytes");
+  if (expected_count >= 0 && count != static_cast<uint64_t>(expected_count)) {
     return Status::IntegrityViolation("audit log truncated or padded");
   }
-  Bytes head = crypto::Sha256Hash(ToBytes("tc.audit.genesis"));
-  std::vector<AuditEntry> entries;
-  entries.reserve(n);
-  for (uint64_t i = 0; i < n; ++i) {
-    TC_ASSIGN_OR_RETURN(Bytes sealed, r.GetBytes());
-    // AAD binds index + predecessor hash: any reorder/splice breaks here.
-    TC_ASSIGN_OR_RETURN(Bytes plain,
-                        tee->Open(key_name, ChainAad(i, head), sealed));
-    TC_ASSIGN_OR_RETURN(AuditEntry entry, AuditEntry::Deserialize(plain));
-    if (entry.index != i) {
-      return Status::IntegrityViolation("audit entry index mismatch");
-    }
-    head = crypto::Sha256Hash2(head, sealed);
-    entries.push_back(std::move(entry));
+  // AEAD integrity: the seal binds count + head, so a tampered wire header
+  // or ciphertext dies here.
+  TC_ASSIGN_OR_RETURN(Bytes stream,
+                      tee->Open(key_name, ExportAad(count, head), sealed));
+  // Defense in depth: re-walk the hash chain against the sealed-in
+  // anchors, so even the key holder cannot re-seal a spliced journal
+  // without also forging every checkpoint relation.
+  obs::AuditVerifyReport report = obs::AuditJournal::Verify(
+      stream, &head, static_cast<int64_t>(count), verifier);
+  if (!report.ok) {
+    return Status::IntegrityViolation("audit journal verify: " + report.error);
   }
-  return entries;
+  return std::move(report.records);
 }
 
 }  // namespace tc::policy

@@ -6,11 +6,13 @@
 
 #include "tc/common/clock.h"
 #include "tc/common/result.h"
+#include "tc/obs/audit_journal.h"
 #include "tc/tee/tee.h"
 
 namespace tc::policy {
 
-/// One accountability record.
+/// One accountability record (the policy layer's view; stored as an
+/// obs::AuditRecord of kind kPolicyDecision in the journal).
 struct AuditEntry {
   uint64_t index = 0;
   Timestamp time = 0;
@@ -19,49 +21,74 @@ struct AuditEntry {
   std::string object;   ///< Document / series the action touched.
   bool allowed = false;
   std::string detail;   ///< Rule id or denial reason.
-
-  Bytes Serialize() const;
-  static Result<AuditEntry> Deserialize(const Bytes& data);
 };
 
-/// Hash-chained, TEE-sealed audit log.
+/// Serialized tee::Quote <-> bytes, the blob format AuditLog's checkpoint
+/// signer stores inside obs::AuditCheckpoint::signature.
+Bytes SerializeQuote(const tee::Quote& quote);
+Result<tee::Quote> DeserializeQuote(const Bytes& data);
+
+/// Builds a CheckpointVerifier that deserializes the checkpoint's quote,
+/// checks it attests exactly this checkpoint (nonce == chain head, claims
+/// name the record count), and verifies the quote signature against the
+/// device endorsement + manufacturer.
+obs::CheckpointVerifier QuoteCheckpointVerifier(
+    const tee::Endorsement& endorsement, const tee::Manufacturer& manufacturer);
+
+/// Tamper-evident, TEE-attested audit log.
 ///
 /// Implements the paper's accountability requirement: "the recipient
 /// trusted cell can maintain an audit log, encrypt it and push it on the
-/// Cloud to the destination of the originator trusted cell". Entries are
-/// AEAD-sealed individually; each entry's associated data binds its index
-/// and the chain hash of its predecessor, so the (untrusted) transport can
-/// neither reorder, drop, nor splice entries without detection. The chain
-/// head lives in the TEE alongside a monotonic counter.
+/// Cloud to the destination of the originator trusted cell". Since PR 4
+/// the storage is an obs::AuditJournal — an append-only SHA-256 hash chain
+/// over every record, with a TEE-signed checkpoint quote every
+/// kCheckpointInterval records (quote nonce = chain head, so each quote
+/// attests a prefix). Export() seals the whole journal stream under the
+/// shared AEAD key with the record count and chain head bound into the
+/// associated data; VerifyAndDecrypt re-walks the chain inside, so even
+/// the legitimate key holder cannot splice, reorder or truncate records
+/// without detection.
 class AuditLog {
  public:
+  static constexpr size_t kCheckpointInterval = 64;
+
   /// `key_name` must exist in the TEE keystore (e.g. a key shared with the
   /// data originator so that *they* can read the log).
   AuditLog(tee::TrustedExecutionEnvironment* tee, std::string key_name);
 
   Status Append(const AuditEntry& entry);
 
-  size_t size() const { return sealed_entries_.size(); }
-  const Bytes& head_hash() const { return head_hash_; }
+  /// Total journal records (policy decisions plus any incident /
+  /// attestation records appended through journal()).
+  size_t size() const { return journal_.record_count(); }
+  Bytes head_hash() const { return journal_.head(); }
 
-  /// Serializes the sealed chain for pushing to the cloud.
-  Bytes Export() const;
+  /// The underlying journal, for appending non-policy evidence (incidents,
+  /// recovery skips, attestation events) into the same tamper-evident
+  /// chain, and for flight-recorder tail capture.
+  obs::AuditJournal& journal() { return journal_; }
+  const obs::AuditJournal& journal() const { return journal_; }
 
-  /// Verifies and decrypts an exported chain using `tee`/`key_name`
-  /// (typically the originator's cell). Detects tampering, reordering,
-  /// truncation of the tail is detected when `expected_count` >= 0.
-  static Result<std::vector<AuditEntry>> VerifyAndDecrypt(
+  /// Serializes the journal, AEAD-sealed for pushing to the cloud:
+  /// "tc.audit.export.v2" | u64 record_count | bytes chain_head |
+  /// bytes Seal(key, "tc.audit.v2"|count|head, journal stream).
+  Result<Bytes> Export() const;
+
+  /// Opens and verifies an exported journal using `tee`/`key_name`
+  /// (typically the originator's cell): AEAD integrity first, then the
+  /// full hash-chain walk anchored at the sealed-in head/count. Tail
+  /// truncation is additionally caught against `expected_count` when
+  /// >= 0. `verifier` (see QuoteCheckpointVerifier) optionally checks
+  /// every checkpoint quote. Returns every record in order.
+  static Result<std::vector<obs::AuditRecord>> VerifyAndDecrypt(
       const Bytes& exported, tee::TrustedExecutionEnvironment* tee,
-      const std::string& key_name, int64_t expected_count = -1);
+      const std::string& key_name, int64_t expected_count = -1,
+      const obs::CheckpointVerifier& verifier = nullptr);
 
  private:
-  static Bytes ChainAad(uint64_t index, const Bytes& prev_hash);
-
   tee::TrustedExecutionEnvironment* tee_;
   std::string key_name_;
-  std::vector<Bytes> sealed_entries_;
-  Bytes head_hash_;  ///< Hash chained over sealed entries.
-  uint64_t next_index_ = 0;
+  obs::AuditJournal journal_;
 };
 
 }  // namespace tc::policy

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "tc/common/codec.h"
+#include "tc/obs/flight_recorder.h"
 #include "tc/obs/trace.h"
 
 namespace tc::storage {
@@ -72,7 +73,21 @@ Result<std::unique_ptr<LogStore>> LogStore::Open(
   {
     obs::TraceSpan span("storage", "recover");
     obs::ScopedTimer timer(&store->metrics_.recover_us);
-    TC_RETURN_IF_ERROR(store->Recover());
+    Status recovered = store->Recover();
+    if (!recovered.ok()) {
+      // The store is about to be discarded: capture the evidence now (the
+      // journal, if any, lives with the cell — the trace ring and metric
+      // registry still tell the failure story).
+      obs::FlightRecorder::Global().Trigger(
+          recovered.IsDataLoss() ? "data_loss" : "recovery_failure",
+          recovered.ToString());
+      return recovered;
+    }
+  }
+  if (store->stats().recovery_pages_skipped > 0) {
+    obs::FlightRecorder::Global().Trigger(
+        "recovery_skip", std::to_string(store->stats().recovery_pages_skipped) +
+                             " pages skipped during recovery");
   }
   store->UpdateFlashGauges();
   return store;
@@ -365,6 +380,10 @@ Status LogStore::Append(Record record, bool count_as_user_write) {
 }
 
 Status LogStore::Put(const std::string& key, const Bytes& value) {
+  // Child-only: participates when a traced operation (cell API, fleet
+  // task) is above us, costs two relaxed loads otherwise — the per-op
+  // latency evidence stays in the append_us histogram.
+  obs::TraceSpan span(obs::kChildOnly, "storage", "put", key);
   obs::ScopedTimer timer(&metrics_.append_us);
   if (key.empty()) return Status::InvalidArgument("empty key");
   Status status = Append(Record{key, value, next_seq_++, false},
@@ -385,6 +404,7 @@ Status LogStore::Delete(const std::string& key) {
 Status LogStore::Flush() { return FlushBufferedPage(); }
 
 Result<Bytes> LogStore::Get(const std::string& key) {
+  obs::TraceSpan span(obs::kChildOnly, "storage", "get", key);
   obs::ScopedTimer timer(&metrics_.get_us);
   // Freshest first: the RAM write buffer.
   for (auto it = buffer_records_.rbegin(); it != buffer_records_.rend();

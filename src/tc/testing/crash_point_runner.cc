@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "tc/obs/flight_recorder.h"
+
 namespace tc::testing {
 
 using storage::LogStore;
@@ -156,15 +158,30 @@ void CrashPointRunner::RunOneCrashTrial(
   LogStoreOptions recovery_options = options_.store_options;
   recovery_options.max_recovery_skips =
       std::max<size_t>(recovery_options.max_recovery_skips, 4);
+  // Any incident the recovery raises (open failure, skipped pages) must
+  // leave a flight dump behind; account for the recorder's trigger delta
+  // across the reopen.
+  const uint64_t flight_before =
+      obs::FlightRecorder::Global().total_triggers();
+  auto note_incident = [&] {
+    ++report->incident_trials;
+    if (obs::FlightRecorder::Global().total_triggers() > flight_before) {
+      ++report->flight_dumps;
+    } else {
+      ++report->missing_flight_dumps;
+    }
+  };
   auto reopened_or = LogStore::Open(&dev, transform.get(), recovery_options);
   if (!reopened_or.ok()) {
     ++report->recovery_failures;
+    note_incident();
     AddViolation(report, label + "recovery failed: " +
                              reopened_or.status().ToString());
     return;
   }
   auto reopened = std::move(*reopened_or);
   uint64_t skipped = reopened->stats().recovery_pages_skipped;
+  if (skipped > 0) note_incident();
   report->max_pages_skipped = std::max(report->max_pages_skipped, skipped);
   if (skipped > 1) {
     AddViolation(report, label + "recovery skipped " +

@@ -47,6 +47,13 @@ struct CrashPointReport {
   uint64_t gc_runs = 0;       ///< GC cycles in the fault-free run (coverage).
   uint64_t erases = 0;        ///< Block erases in the fault-free run.
   uint64_t max_pages_skipped = 0;  ///< Worst per-recovery torn-page count.
+  /// Flight-recorder coverage: a crash trial whose recovery raised an
+  /// incident (open failure, or pages skipped) must leave a flight dump
+  /// behind. `missing_flight_dumps` > 0 means an incident path bypassed
+  /// the recorder — tests assert it stays 0.
+  size_t incident_trials = 0;
+  size_t flight_dumps = 0;
+  size_t missing_flight_dumps = 0;
   std::vector<std::string> violation_details;  ///< Capped sample.
 };
 

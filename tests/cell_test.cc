@@ -304,11 +304,15 @@ TEST_F(CellTest, AuditLogPushedAndVerifiedByOriginator) {
   ASSERT_EQ(pushes.size(), 1u);
   auto entries = alice_gateway_->VerifyAuditPush(pushes[0]);
   ASSERT_TRUE(entries.ok());
-  ASSERT_EQ(entries->size(), 2u);
-  EXPECT_EQ((*entries)[0].subject, "bob");
-  EXPECT_TRUE((*entries)[0].allowed);
-  EXPECT_EQ((*entries)[1].subject, "carol");
-  EXPECT_FALSE((*entries)[1].allowed);
+  // The journal carries the full evidence stream: the cell's boot
+  // attestation record first, then the two policy decisions.
+  ASSERT_EQ(entries->size(), 3u);
+  EXPECT_EQ((*entries)[0].kind, obs::AuditKind::kAttestation);
+  EXPECT_EQ((*entries)[1].subject, "bob");
+  EXPECT_EQ((*entries)[1].kind, obs::AuditKind::kPolicyDecision);
+  EXPECT_TRUE((*entries)[1].allowed);
+  EXPECT_EQ((*entries)[2].subject, "carol");
+  EXPECT_FALSE((*entries)[2].allowed);
 }
 
 TEST_F(CellTest, SensorIngestAndGranularityViews) {

@@ -8,6 +8,7 @@
 
 #include <memory>
 
+#include "tc/obs/flight_recorder.h"
 #include "tc/storage/flash_device.h"
 #include "tc/storage/log_store.h"
 #include "tc/storage/page_transform.h"
@@ -55,7 +56,9 @@ constexpr DeviceClassCase kCases[] = {
 };
 
 TEST(CrashRecoveryTest, EveryCrashPointKeepsDurabilityInvariants) {
+  obs::FlightRecorder::Global().Clear();
   size_t total_points = 0;
+  size_t total_incident_trials = 0;
   for (const DeviceClassCase& device_case : kCases) {
     CrashPointRunner::Options options;
     options.geometry = TinyGeometry();
@@ -79,10 +82,25 @@ TEST(CrashRecoveryTest, EveryCrashPointKeepsDurabilityInvariants) {
     EXPECT_EQ(report->violations, 0u)
         << "first violations: "
         << ::testing::PrintToString(report->violation_details);
+    // Flight-recorder coverage: every crash trial whose recovery raised an
+    // incident (skipped page) must have produced a dump.
+    EXPECT_EQ(report->missing_flight_dumps, 0u);
+    EXPECT_EQ(report->flight_dumps, report->incident_trials);
     total_points += report->crash_points;
+    total_incident_trials += report->incident_trials;
   }
   // Acceptance floor for the whole sweep.
   EXPECT_GE(total_points, 200u);
+  // Torn-page variants must actually raise incidents, or the flight-dump
+  // coverage above is vacuous.
+  EXPECT_GT(total_incident_trials, 0u);
+  // The recorder kept the most recent dumps, and each captured usable
+  // evidence: a recovery reason plus the metric registry snapshot.
+  const auto dumps = obs::FlightRecorder::Global().Dumps();
+  ASSERT_FALSE(dumps.empty());
+  const obs::FlightDump& last = dumps.back();
+  EXPECT_EQ(last.reason.rfind("recovery", 0), 0u) << last.reason;
+  EXPECT_NE(last.ToJson().find("\"metrics\""), std::string::npos);
 }
 
 // The same enumeration through the TEE-keyed AEAD page transform: crash
@@ -109,6 +127,8 @@ TEST(CrashRecoveryTest, EncryptedStoreSurvivesEveryCrashPoint) {
   EXPECT_EQ(report->violations, 0u)
       << "first violations: "
       << ::testing::PrintToString(report->violation_details);
+  EXPECT_EQ(report->missing_flight_dumps, 0u);
+  EXPECT_EQ(report->flight_dumps, report->incident_trials);
 }
 
 }  // namespace

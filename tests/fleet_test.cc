@@ -103,13 +103,14 @@ TEST(WorkerPoolTest, ShutdownSemanticsUnderConcurrentSubmitters) {
   std::vector<std::thread> submitters;
   for (int t = 0; t < 4; ++t) {
     submitters.emplace_back([&] {
-      for (int i = 0; i < 200; ++i) {
-        if (pool.Submit([&executed] { executed.fetch_add(1); })) {
-          accepted.fetch_add(1);
-        } else {
-          rejected.fetch_add(1);
-        }
+      // Submit until the pool turns us away: every submitter is
+      // guaranteed to observe the shutdown rejection, without depending
+      // on who wins the Submit/Shutdown race (which a loaded machine
+      // decides differently every run).
+      while (pool.Submit([&executed] { executed.fetch_add(1); })) {
+        accepted.fetch_add(1);
       }
+      rejected.fetch_add(1);
     });
   }
   // Let some work through, then close the pool under the submitters.
@@ -118,8 +119,7 @@ TEST(WorkerPoolTest, ShutdownSemanticsUnderConcurrentSubmitters) {
   for (std::thread& thread : submitters) thread.join();
 
   EXPECT_EQ(executed.load(), accepted.load());  // true => ran, exactly once.
-  EXPECT_EQ(accepted.load() + rejected.load(), 4u * 200);
-  EXPECT_GT(rejected.load(), 0u);  // The race actually closed the door.
+  EXPECT_EQ(rejected.load(), 4u);  // Every submitter saw the door close.
   // Shutdown is idempotent and still rejects.
   pool.Shutdown();
   EXPECT_FALSE(pool.Submit([] {}));

@@ -205,12 +205,15 @@ TEST(AuditLogTest, AppendExportVerify) {
                                       "rule-x"})
                     .ok());
   }
-  auto entries = AuditLog::VerifyAndDecrypt(log.Export(), &tee, "audit", 5);
+  auto exported = log.Export();
+  ASSERT_TRUE(exported.ok());
+  auto entries = AuditLog::VerifyAndDecrypt(*exported, &tee, "audit", 5);
   ASSERT_TRUE(entries.ok());
   ASSERT_EQ(entries->size(), 5u);
   EXPECT_EQ((*entries)[3].object, "doc-3");
   EXPECT_EQ((*entries)[3].index, 3u);
   EXPECT_FALSE((*entries)[3].allowed);
+  EXPECT_EQ((*entries)[3].kind, obs::AuditKind::kPolicyDecision);
 }
 
 TEST(AuditLogTest, TamperedEntryDetected) {
@@ -222,7 +225,9 @@ TEST(AuditLogTest, TamperedEntryDetected) {
     ASSERT_TRUE(
         log.Append(AuditEntry{0, 0, "s", "read", "o", true, ""}).ok());
   }
-  Bytes exported = log.Export();
+  auto exported_or = log.Export();
+  ASSERT_TRUE(exported_or.ok());
+  Bytes exported = *exported_or;
   exported[exported.size() / 2] ^= 1;
   EXPECT_FALSE(
       AuditLog::VerifyAndDecrypt(exported, &tee, "audit", 3).ok());
@@ -244,12 +249,19 @@ TEST(AuditLogTest, TruncationDetected) {
     ASSERT_TRUE(
         shorter.Append(AuditEntry{0, 0, "s", "read", "o", true, ""}).ok());
   }
-  EXPECT_TRUE(AuditLog::VerifyAndDecrypt(shorter.Export(), &tee, "audit", 4)
+  auto short_export = shorter.Export();
+  ASSERT_TRUE(short_export.ok());
+  EXPECT_TRUE(AuditLog::VerifyAndDecrypt(*short_export, &tee, "audit", 4)
                   .status()
                   .IsIntegrityViolation());
 }
 
-TEST(AuditLogTest, ReorderingDetected) {
+TEST(AuditLogTest, InsiderResealReorderingDetected) {
+  // The strongest adversary for the v2 format: an *insider holding the
+  // AEAD key* who opens the sealed journal, swaps two records, and
+  // re-seals under the original associated data. The AEAD accepts the
+  // forgery (right key, right AAD) — the hash-chain walk against the
+  // sealed-in anchors is what must catch it.
   tee::TrustedExecutionEnvironment tee("audit-cell4",
                                        tee::DeviceClass::kSmartPhone);
   ASSERT_TRUE(tee.keystore().GenerateKey("audit").ok());
@@ -260,21 +272,53 @@ TEST(AuditLogTest, ReorderingDetected) {
                               ""})
             .ok());
   }
-  // Swap the first two sealed entries in the export.
-  Bytes exported = log.Export();
-  BinaryReader r(exported);
-  (void)*r.GetString();
-  (void)*r.GetVarint();
-  Bytes e0 = *r.GetBytes();
-  Bytes e1 = *r.GetBytes();
-  Bytes e2 = *r.GetBytes();
+  auto exported_or = log.Export();
+  ASSERT_TRUE(exported_or.ok());
+
+  // Parse the v2 wire: magic | count | chain head | sealed journal.
+  BinaryReader r(*exported_or);
+  ASSERT_EQ(*r.GetString(), "tc.audit.export.v2");
+  uint64_t count = *r.GetU64();
+  Bytes head = *r.GetBytes();
+  Bytes sealed = *r.GetBytes();
+  auto make_aad = [&count, &head] {
+    BinaryWriter w;
+    w.PutString("tc.audit.v2");
+    w.PutU64(count);
+    w.PutBytes(head);
+    return w.Take();
+  };
+  auto stream = tee.Open("audit", make_aad(), sealed);
+  ASSERT_TRUE(stream.ok());
+
+  // Swap the first two journal items and re-seal under the same AAD.
+  BinaryReader js(*stream);
+  ASSERT_EQ(*js.GetString(), "tc.obs.journal.v1");
+  uint64_t items = *js.GetVarint();
+  ASSERT_GE(items, 2u);
+  std::vector<std::pair<uint8_t, Bytes>> parsed;
+  for (uint64_t i = 0; i < items; ++i) {
+    uint8_t tag = *js.GetU8();
+    parsed.emplace_back(tag, *js.GetBytes());
+  }
+  std::swap(parsed[0], parsed[1]);
+  BinaryWriter spliced;
+  spliced.PutString("tc.obs.journal.v1");
+  spliced.PutVarint(items);
+  for (const auto& [tag, payload] : parsed) {
+    spliced.PutU8(tag);
+    spliced.PutBytes(payload);
+  }
+  auto resealed = tee.Seal("audit", make_aad(), spliced.Take());
+  ASSERT_TRUE(resealed.ok());
   BinaryWriter w;
-  w.PutString("tc.audit.export.v1");
-  w.PutVarint(3);
-  w.PutBytes(e1);
-  w.PutBytes(e0);
-  w.PutBytes(e2);
-  EXPECT_FALSE(AuditLog::VerifyAndDecrypt(w.Take(), &tee, "audit", 3).ok());
+  w.PutString("tc.audit.export.v2");
+  w.PutU64(count);
+  w.PutBytes(head);
+  w.PutBytes(*resealed);
+  EXPECT_TRUE(AuditLog::VerifyAndDecrypt(w.Take(), &tee, "audit", 3)
+                  .status()
+                  .IsIntegrityViolation());
 }
 
 }  // namespace
