@@ -3,8 +3,11 @@
 #
 #   1. configure + build the default tree;
 #   2. run the full ctest suite;
-#   3. check no generated build*/ tree is tracked or staged;
-#   4. run the obs export validator (quick bench run + trace JSON checks).
+#   3. chaos determinism gate: every chaos seed must replay exactly from
+#      its printed fault schedule (a chaos failure that cannot be
+#      reproduced from its schedule print is not debuggable);
+#   4. check no generated build*/ tree is tracked or staged;
+#   5. run the obs export validator (quick bench run + trace JSON checks).
 #
 # Each step's script documents its own skip conditions; this wrapper just
 # sequences them and stops at the first failure.
@@ -14,6 +17,11 @@ cd "$(dirname "$0")/.."
 cmake -B build -S .
 cmake --build build -j "$(nproc)"
 (cd build && ctest --output-on-failure -j "$(nproc)")
+build/tests/chaos_test \
+  --gtest_filter='*ReproducesFromPrintedSchedule*' > /dev/null || {
+  echo "ci: chaos schedule replay is NOT deterministic" >&2
+  exit 1
+}
 scripts/check_tree_clean.sh
 scripts/validate_obs_export.sh
 echo "ci: all tier-1 checks passed"

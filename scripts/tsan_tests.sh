@@ -1,6 +1,6 @@
 #!/bin/sh
-# Runs the concurrency suites (fleet_test, cloud_test, obs_test) under
-# ThreadSanitizer
+# Runs the concurrency suites (fleet_test, cloud_test, obs_test,
+# chaos_test, net_test) under ThreadSanitizer
 # via the `tsan` CMake preset. Skips gracefully (exit 0 with a message) when
 # the toolchain cannot build TSan binaries, so CI on odd platforms stays
 # green without silently pretending the suites ran.

@@ -152,7 +152,9 @@ TrustedCell::Metrics::Metrics()
           "cell.policy.reads_allowed")),
       reads_denied(obs::MetricRegistry::Global().GetCounter(
           "cell.policy.reads_denied")),
-      incidents(obs::MetricRegistry::Global().GetCounter("cell.incidents")) {}
+      incidents(obs::MetricRegistry::Global().GetCounter("cell.incidents")),
+      degraded_ms(
+          obs::MetricRegistry::Global().GetCounter("cell.degraded_ms")) {}
 
 TrustedCell::TrustedCell(const Config& config,
                          cloud::CloudInfrastructure* cloud,
@@ -237,6 +239,29 @@ Status TrustedCell::Init() {
   }
   TC_ASSIGN_OR_RETURN(db_, db::Database::Open(store_.get()));
 
+  if (config_.resilient_sync) {
+    net::ChannelOptions channel_options = config_.channel;
+    if (channel_options.seed == net::ChannelOptions{}.seed) {
+      // Per-cell jitter stream by default, so a fleet of cells does not
+      // retry in lockstep.
+      BinaryWriter sw;
+      sw.PutString("tc.net-seed." + config_.cell_id);
+      Bytes digest = crypto::Sha256Hash(sw.Take());
+      uint64_t seed = 0;
+      for (int i = 0; i < 8; ++i) seed = (seed << 8) | digest[i];
+      channel_options.seed = seed;
+    }
+    channel_ = std::make_unique<net::ResilientChannel>(cloud_, config_.owner,
+                                                       channel_options);
+    outbox_ = std::make_unique<net::Outbox>(store_.get());
+    TC_RETURN_IF_ERROR(outbox_->Load());
+    if (!outbox_->empty()) {
+      // Crashed (or was shut down) while partitioned: the queued pushes
+      // survived in the encrypted store. Resume degraded until CatchUp.
+      EnterDegraded();
+    }
+  }
+
   // Rebuild the document registry.
   Status scan_status;
   TC_RETURN_IF_ERROR(store_->ScanAll([&](const std::string& key,
@@ -268,6 +293,109 @@ std::string TrustedCell::SpaceBlobId(const std::string& doc_id) const {
 
 std::string TrustedCell::ManifestBlobId() const {
   return "space/" + config_.owner + "/manifest";
+}
+
+// ---- Disconnected operation ----
+
+std::string TrustedCell::PushToken(const std::string& blob_id,
+                                   uint64_t version) const {
+  return config_.cell_id + "|" + blob_id + "|v" + std::to_string(version);
+}
+
+void TrustedCell::EnterDegraded() {
+  if (degraded_) return;
+  degraded_ = true;
+  degraded_timer_ = obs::Stopwatch();
+}
+
+void TrustedCell::ExitDegraded() {
+  if (!degraded_) return;
+  degraded_ = false;
+  metrics_.degraded_ms.Increment(degraded_timer_.ElapsedUs() / 1000);
+}
+
+Status TrustedCell::PushBlob(const std::string& blob_id, uint64_t version,
+                             const Bytes& sealed) {
+  if (!channel_) {
+    cloud_->PutBlob(blob_id, sealed);
+    return Status::OK();
+  }
+  std::string token = PushToken(blob_id, version);
+  // A queued older push of the same blob must never overtake this one:
+  // supersede it in the outbox instead of racing it to the provider.
+  if (outbox_->FindByBlobId(blob_id) == nullptr) {
+    auto pushed = channel_->Put(blob_id, sealed, &token);
+    if (pushed.ok()) return Status::OK();
+    if (!pushed.status().IsTransient() &&
+        !pushed.status().IsDeadlineExceeded()) {
+      return pushed.status();
+    }
+  }
+  // Provider unreachable (or an older push is queued): the sealed bytes
+  // are journaled in the encrypted store and the write succeeds locally.
+  // Note the push may have reached the provider with only the ack lost —
+  // draining re-sends under the same token, so it applies at most once.
+  TC_RETURN_IF_ERROR(outbox_->Enqueue(blob_id, token, sealed));
+  ++stats_.pushes_deferred;
+  EnterDegraded();
+  return Status::OK();
+}
+
+Result<Bytes> TrustedCell::PullBlob(const std::string& blob_id) {
+  if (outbox_ != nullptr) {
+    if (const net::OutboxRecord* queued = outbox_->FindByBlobId(blob_id)) {
+      return queued->payload;  // Read-your-writes while partitioned.
+    }
+  }
+  if (!channel_) return cloud_->GetBlob(blob_id);
+  return channel_->Get(blob_id);
+}
+
+Status TrustedCell::CatchUp() {
+  if (!channel_ || outbox_->empty()) {
+    ExitDegraded();
+    return Status::OK();
+  }
+  obs::TraceSpan span("cell", "catch_up", config_.cell_id);
+  uint64_t drained = 0;
+  while (!outbox_->empty()) {
+    if (channel_->degraded()) {
+      // Wait out the breaker cooldown on the virtual clock — catch-up is
+      // the reconnection attempt, it must be allowed to probe.
+      channel_->AdvanceVirtualTime(config_.channel.breaker.open_cooldown_us);
+    }
+    const net::OutboxRecord& record = outbox_->pending().begin()->second;
+    auto pushed = channel_->Put(record.blob_id, record.payload,
+                                &record.token);
+    if (!pushed.ok()) {
+      if (pushed.status().IsTransient() ||
+          pushed.status().IsDeadlineExceeded()) {
+        stats_.catchup_drained += drained;
+        return Status::Unavailable(
+            "catch-up stalled with " + std::to_string(outbox_->size()) +
+            " pushes pending: " + pushed.status().ToString());
+      }
+      return pushed.status();
+    }
+    // Read-back verification: the acked version must hold exactly the
+    // bytes we sealed — a provider that acked without storing (or stored
+    // something else) is caught here, not at some future fetch.
+    auto echo = cloud_->GetBlobVersion(record.blob_id, *pushed);
+    if (!echo.ok() || *echo != record.payload) {
+      RecordIncident(IncidentType::kPayloadTampered, record.blob_id,
+                     "catch-up read-back mismatch at version " +
+                         std::to_string(*pushed));
+      return Status::IntegrityViolation("catch-up read-back mismatch on " +
+                                        record.blob_id);
+    }
+    TC_RETURN_IF_ERROR(outbox_->MarkDone(record.seq));
+    ++drained;
+  }
+  stats_.catchup_drained += drained;
+  ExitDegraded();
+  // Everything queued is durable; publish a fresh manifest so sibling
+  // cells see the post-partition state.
+  return SyncPush();
 }
 
 Bytes TrustedCell::DocumentAad(const std::string& doc_id, uint64_t version,
@@ -446,7 +574,7 @@ Result<std::string> TrustedCell::StoreDocument(const std::string& title,
       Bytes sealed,
       tee_->Seal(key_name, DocumentAad(doc_id, meta.version, {}), content));
   metrics_.seal_us.Record(seal_timer.ElapsedUs());
-  cloud_->PutBlob(meta.blob_id, sealed);
+  TC_RETURN_IF_ERROR(PushBlob(meta.blob_id, meta.version, sealed));
   TC_RETURN_IF_ERROR(SaveMeta(meta, /*is_new=*/true));
   ++stats_.documents_stored;
   return doc_id;
@@ -468,12 +596,12 @@ Status TrustedCell::UpdateDocument(const std::string& doc_id,
       tee_->Seal(meta.key_name, DocumentAad(doc_id, meta.version, {}),
                  content));
   metrics_.seal_us.Record(seal_timer.ElapsedUs());
-  cloud_->PutBlob(meta.blob_id, sealed);
+  TC_RETURN_IF_ERROR(PushBlob(meta.blob_id, meta.version, sealed));
   return SaveMeta(meta, /*is_new=*/false);
 }
 
 Result<Bytes> TrustedCell::FetchAndOpen(const DocumentMeta& meta) {
-  TC_ASSIGN_OR_RETURN(Bytes blob, cloud_->GetBlob(meta.blob_id));
+  TC_ASSIGN_OR_RETURN(Bytes blob, PullBlob(meta.blob_id));
   obs::Stopwatch unseal_timer;
   auto payload =
       tee_->Open(meta.key_name, DocumentAad(meta.doc_id, meta.version, {}),
@@ -603,14 +731,14 @@ Status TrustedCell::SyncPush() {
   blob.PutString("tc.manifest.v1");
   blob.PutU64(version);
   blob.PutBytes(sealed);
-  cloud_->PutBlob(ManifestBlobId(), blob.Take());
+  TC_RETURN_IF_ERROR(PushBlob(ManifestBlobId(), version, blob.Take()));
   ++stats_.sync_pushes;
   return Status::OK();
 }
 
 Status TrustedCell::SyncPull() {
   obs::TraceSpan span("cell", "sync_pull", config_.cell_id);
-  TC_ASSIGN_OR_RETURN(Bytes blob, cloud_->GetBlob(ManifestBlobId()));
+  TC_ASSIGN_OR_RETURN(Bytes blob, PullBlob(ManifestBlobId()));
   BinaryReader r(blob);
   auto magic = r.GetString();
   if (!magic.ok() || *magic != "tc.manifest.v1") {
@@ -928,7 +1056,7 @@ Result<TrustedCell::SpaceProof> TrustedCell::ProveDocumentInSpace(
     if (meta.origin_owner != config_.owner || !meta.origin_cell.empty()) {
       continue;  // Own documents only.
     }
-    TC_ASSIGN_OR_RETURN(Bytes sealed, cloud_->GetBlob(meta.blob_id));
+    TC_ASSIGN_OR_RETURN(Bytes sealed, PullBlob(meta.blob_id));
     Bytes leaf = SpaceLeaf(id, meta.version, crypto::Sha256Hash(sealed));
     if (id == doc_id) {
       target_index = static_cast<int>(leaves.size());
@@ -999,7 +1127,7 @@ Status TrustedCell::RotateDocumentKey(const std::string& doc_id) {
   TC_ASSIGN_OR_RETURN(
       Bytes sealed,
       tee_->Seal(new_key, DocumentAad(doc_id, meta.version, {}), payload));
-  cloud_->PutBlob(meta.blob_id, sealed);
+  TC_RETURN_IF_ERROR(PushBlob(meta.blob_id, meta.version, sealed));
   TC_RETURN_IF_ERROR(SaveMeta(meta, /*is_new=*/false));
   (void)tee_->keystore().DestroyKey(old_key);
   (void)tee_->keystore().DestroyKey(old_key + ".sticky");

@@ -14,6 +14,8 @@
 #include "tc/crypto/merkle.h"
 #include "tc/db/database.h"
 #include "tc/db/timeseries.h"
+#include "tc/net/channel.h"
+#include "tc/net/outbox.h"
 #include "tc/obs/metrics.h"
 #include "tc/policy/audit.h"
 #include "tc/policy/sticky_policy.h"
@@ -97,6 +99,8 @@ struct CellStats {
   uint64_t aggregates_published = 0;
   uint64_t sync_pushes = 0;
   uint64_t sync_pulls = 0;
+  uint64_t pushes_deferred = 0;   ///< Cloud pushes queued to the outbox.
+  uint64_t catchup_drained = 0;   ///< Outbox records drained by CatchUp.
 };
 
 /// A trusted cell: the paper's "personal data server running on secure
@@ -135,6 +139,13 @@ class TrustedCell {
     /// use the same value to share a personal space; a cell created with
     /// the wrong value needs guardian recovery (CompleteRecovery).
     std::string enrollment_secret;
+    /// Route cloud traffic through a ResilientChannel (retry/backoff,
+    /// circuit breaker) backed by a LogStore-journaled outbox: a push the
+    /// provider cannot take goes to the outbox and the cell keeps working
+    /// in degraded local-only mode until CatchUp drains it. Off by
+    /// default — the direct path has zero added cost.
+    bool resilient_sync = false;
+    net::ChannelOptions channel;
   };
 
   /// Creates the cell, provisions its TEE (owner master key, storage root
@@ -208,6 +219,28 @@ class TrustedCell {
   /// TEE-remembered version floor, and adopts new/updated metadata.
   /// Payloads stay in the cloud until fetched (metadata-first).
   Status SyncPull();
+
+  // ---- Disconnected operation (resilient_sync mode) ----
+
+  /// True while the cell is partitioned from the provider: local writes
+  /// succeed and queue in the durable outbox, reads of queued blobs are
+  /// served locally (read-your-writes).
+  bool degraded() const { return degraded_; }
+
+  /// Pushes still queued for the provider.
+  size_t outbox_pending() const { return outbox_ ? outbox_->size() : 0; }
+
+  /// Anti-entropy catch-up: drains the outbox in order (each record
+  /// re-pushed under its original idempotency token, so a push whose ack
+  /// was lost is deduped server-side), read-back-verifies every drained
+  /// blob against the provider, then republishes the manifest. Returns
+  /// kUnavailable if the provider is still unreachable — the outbox keeps
+  /// the remainder and the cell stays degraded.
+  Status CatchUp();
+
+  /// The resilient channel, when configured (tests and the fleet harness
+  /// inspect its stats and virtual clock).
+  net::ResilientChannel* net_channel() { return channel_.get(); }
 
   // ---- Secure sharing ----
 
@@ -340,6 +373,7 @@ class TrustedCell {
     obs::Counter& reads_allowed;
     obs::Counter& reads_denied;
     obs::Counter& incidents;
+    obs::Counter& degraded_ms;  // cell.degraded_ms (wall time in degraded).
   };
 
   TrustedCell(const Config& config, cloud::CloudInfrastructure* cloud,
@@ -358,6 +392,20 @@ class TrustedCell {
   void RecordIncident(IncidentType type, const std::string& object_id,
                       const std::string& detail);
   Result<Bytes> FetchAndOpen(const DocumentMeta& meta);
+  /// Idempotency token of a (blob, version) push — stable across retries,
+  /// restarts and outbox drains, so the provider applies it at most once.
+  std::string PushToken(const std::string& blob_id, uint64_t version) const;
+  /// Pushes a sealed blob: direct PutBlob without resilient_sync,
+  /// otherwise through the channel with fallback to the outbox (returns
+  /// OK and marks the cell degraded when the provider is unreachable —
+  /// the write is locally durable and will drain).
+  Status PushBlob(const std::string& blob_id, uint64_t version,
+                  const Bytes& sealed);
+  /// Fetches a blob, serving queued-but-unpushed blobs from the outbox
+  /// first (read-your-writes while partitioned).
+  Result<Bytes> PullBlob(const std::string& blob_id);
+  void EnterDegraded();
+  void ExitDegraded();
 
   Config config_;
   cloud::CloudInfrastructure* cloud_;
@@ -370,6 +418,10 @@ class TrustedCell {
   std::unique_ptr<storage::LogStore> store_;
   std::unique_ptr<db::Database> db_;
   std::unique_ptr<policy::AuditLog> audit_;
+  std::unique_ptr<net::ResilientChannel> channel_;  // resilient_sync only.
+  std::unique_ptr<net::Outbox> outbox_;             // resilient_sync only.
+  bool degraded_ = false;
+  obs::Stopwatch degraded_timer_;
   policy::DecisionPoint pdp_;
 
   // Document registry (rebuilt from the store at Init).

@@ -31,6 +31,7 @@ uint64_t BlobStore::Put(const std::string& id, const Bytes& data) {
   std::vector<Bytes>& versions = shard.blobs[id];
   versions.push_back(data);
   shard.total_bytes += data.size();
+  versions_created_.fetch_add(1, std::memory_order_relaxed);
   return versions.size();
 }
 
@@ -51,6 +52,46 @@ std::vector<uint64_t> BlobStore::PutBatch(
       blob_versions.push_back(items[i].second);
       shard.total_bytes += items[i].second.size();
       versions[i] = blob_versions.size();
+      versions_created_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return versions;
+}
+
+std::vector<uint64_t> BlobStore::PutBatchIdempotent(
+    const std::vector<std::pair<std::string, Bytes>>& items,
+    const std::vector<std::string>& tokens) {
+  std::vector<uint64_t> versions(items.size(), 0);
+  std::vector<std::vector<size_t>> by_shard(shards_.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    by_shard[ShardIndex(items[i].first)].push_back(i);
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    auto lock = LockShard(shard);
+    for (size_t i : by_shard[s]) {
+      const std::string& token = tokens[i];
+      auto hit = shard.applied_tokens.find(token);
+      if (hit != shard.applied_tokens.end()) {
+        // Re-delivery of a write this shard already applied: answer with
+        // the original version, store nothing.
+        versions[i] = hit->second;
+        token_dedupe_hits_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      std::vector<Bytes>& blob_versions = shard.blobs[items[i].first];
+      blob_versions.push_back(items[i].second);
+      shard.total_bytes += items[i].second.size();
+      versions[i] = blob_versions.size();
+      versions_created_.fetch_add(1, std::memory_order_relaxed);
+      tokens_applied_.fetch_add(1, std::memory_order_relaxed);
+      auto inserted = shard.applied_tokens.emplace(token, versions[i]);
+      shard.token_fifo.push_back(&inserted.first->first);
+      if (shard.token_fifo.size() > kTokenHistory) {
+        shard.applied_tokens.erase(*shard.token_fifo.front());
+        shard.token_fifo.pop_front();
+      }
     }
   }
   return versions;

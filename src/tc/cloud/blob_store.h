@@ -3,11 +3,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -41,6 +43,36 @@ class BlobStore {
   /// assigned version numbers in input order.
   std::vector<uint64_t> PutBatch(
       const std::vector<std::pair<std::string, Bytes>>& items);
+
+  /// PutBatch with per-item idempotency: `tokens[i]` names the logical
+  /// write (cell id + blob id + client sequence). An item whose token was
+  /// already applied is NOT stored again — the version it got the first
+  /// time is returned instead. This is what makes retries after a lost ack
+  /// and network-level duplicates side-effect-free: the same logical write
+  /// can reach the provider 0–N times and creates at most one version.
+  /// Tokens live in per-shard tables (same striping as the blobs, same
+  /// lock), bounded FIFO at kTokenHistory entries per shard — ample for
+  /// retry windows, which are short by construction.
+  std::vector<uint64_t> PutBatchIdempotent(
+      const std::vector<std::pair<std::string, Bytes>>& items,
+      const std::vector<std::string>& tokens);
+
+  /// Logical writes newly applied through PutBatchIdempotent (dedupe hits
+  /// excluded). `versions created == tokens_applied` is the chaos suite's
+  /// "no duplicate side-effects" invariant.
+  uint64_t tokens_applied() const {
+    return tokens_applied_.load(std::memory_order_relaxed);
+  }
+  /// Idempotent re-deliveries answered from a token table (no new version).
+  uint64_t token_dedupe_hits() const {
+    return token_dedupe_hits_.load(std::memory_order_relaxed);
+  }
+
+  /// Total versions ever created across all blobs (never decremented, not
+  /// even by Delete) — the other half of the duplicate-side-effect check.
+  uint64_t versions_created() const {
+    return versions_created_.load(std::memory_order_relaxed);
+  }
 
   /// Latest version payload.
   Result<Bytes> Get(const std::string& id) const;
@@ -85,17 +117,27 @@ class BlobStore {
   uint64_t lock_contention() const;
 
  private:
+  static constexpr size_t kTokenHistory = 8192;  // Per shard.
+
   struct Shard {
     mutable std::mutex mu;
     mutable std::atomic<uint64_t> contention{0};
     std::map<std::string, std::vector<Bytes>> blobs;  // id -> versions.
     uint64_t total_bytes = 0;                         // guarded by mu.
+    // Idempotency-token table: token -> assigned version, FIFO-bounded.
+    // The FIFO holds pointers to the map's keys (stable until erase), so a
+    // token is stored exactly once.
+    std::unordered_map<std::string, uint64_t> applied_tokens;  // guarded by mu.
+    std::deque<const std::string*> token_fifo;                 // guarded by mu.
   };
 
   /// Locks `shard.mu`, counting the acquisition as contended if it blocks.
   std::unique_lock<std::mutex> LockShard(const Shard& shard) const;
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> tokens_applied_{0};
+  std::atomic<uint64_t> token_dedupe_hits_{0};
+  std::atomic<uint64_t> versions_created_{0};
 };
 
 }  // namespace tc::cloud

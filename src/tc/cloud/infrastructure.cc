@@ -1,5 +1,6 @@
 #include "tc/cloud/infrastructure.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -35,6 +36,9 @@ CloudInfrastructure::Metrics::Metrics()
           "cloud.adversary.messages_dropped")),
       messages_replayed(obs::MetricRegistry::Global().GetCounter(
           "cloud.adversary.messages_replayed")),
+      net_faults(obs::MetricRegistry::Global().GetCounter("cloud.net.faults")),
+      net_outages(
+          obs::MetricRegistry::Global().GetCounter("cloud.net.outages")),
       blob_lock_contention(obs::MetricRegistry::Global().GetGauge(
           "cloud.blob_lock_contention")),
       queue_lock_contention(obs::MetricRegistry::Global().GetGauge(
@@ -118,6 +122,129 @@ std::vector<uint64_t> CloudInfrastructure::PutBlobBatch(
   stats_.blob_puts.fetch_add(items.size(), std::memory_order_relaxed);
   stats_.bytes_in.fetch_add(bytes, std::memory_order_relaxed);
   return blobs_.PutBatch(items);
+}
+
+CloudInfrastructure::BatchPutOutcome CloudInfrastructure::PutBlobBatchRpc(
+    const std::vector<std::pair<std::string, Bytes>>& items,
+    const std::vector<std::string>& tokens) {
+  obs::TraceSpan span(obs::kChildOnly, "cloud", "put_batch_rpc",
+                      std::to_string(items.size()) + " blobs",
+                      &metrics_.put_batch_us);
+  ChargeLatency();  // One round-trip for the whole batch.
+  BatchPutOutcome outcome;
+  outcome.versions.assign(items.size(), 0);
+  outcome.acked.assign(items.size(), 0);
+  if (items.size() != tokens.size()) {
+    outcome.status =
+        Status::InvalidArgument("put batch: one token per item required");
+    return outcome;
+  }
+
+  FaultDecision decision;
+  if (NetworkFaultInjector* injector = fault_injector()) {
+    decision = injector->Next(NetOp::kPutBatch);
+    if (!decision.clean()) metrics_.net_faults.Increment();
+  }
+  outcome.delay_us = decision.delay_us;
+  outcome.fault_ordinal = decision.clean() ? 0 : decision.ordinal;
+
+  if (decision.outage || decision.throttled) {
+    metrics_.net_outages.Increment();
+    outcome.status = Status::Unavailable(
+        decision.outage ? "provider outage" : "provider throttled the batch");
+    return outcome;
+  }
+  if (decision.drop_request) {
+    outcome.status = Status::Unavailable("batch lost before the provider");
+    return outcome;
+  }
+
+  // The batch (or the surviving part of a torn one) reaches the provider.
+  // `keep` stays empty (meaning keep-all) on the clean path: no per-call
+  // allocation unless the batch is actually torn.
+  std::vector<uint8_t> keep;
+  size_t kept = items.size();
+  if (decision.item_seed != 0) {
+    keep.assign(items.size(), 1);
+    Rng item_rng(decision.item_seed);
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (item_rng.NextBernoulli(decision.item_loss)) {
+        keep[i] = 0;
+        --kept;
+      }
+    }
+  }
+
+  uint64_t bytes = 0;
+  std::vector<std::pair<std::string, Bytes>> sub_items;
+  std::vector<std::string> sub_tokens;
+  std::vector<size_t> sub_index;
+  const bool whole = kept == items.size();
+  if (!whole) {
+    sub_items.reserve(kept);
+    sub_tokens.reserve(kept);
+    sub_index.reserve(kept);
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (!keep[i]) continue;
+      sub_items.push_back(items[i]);
+      sub_tokens.push_back(tokens[i]);
+      sub_index.push_back(i);
+    }
+  }
+  const auto& apply_items = whole ? items : sub_items;
+  const auto& apply_tokens = whole ? tokens : sub_tokens;
+  std::vector<uint64_t> versions =
+      blobs_.PutBatchIdempotent(apply_items, apply_tokens);
+  if (decision.duplicate) {
+    // Network retransmission: the provider applies the request again; the
+    // token tables answer the second copy with the same versions.
+    blobs_.PutBatchIdempotent(apply_items, apply_tokens);
+  }
+  for (size_t j = 0; j < versions.size(); ++j) {
+    size_t i = whole ? j : sub_index[j];
+    outcome.versions[i] = versions[j];
+    outcome.acked[i] = 1;
+    bytes += items[i].second.size();
+  }
+  stats_.blob_puts.fetch_add(kept, std::memory_order_relaxed);
+  stats_.bytes_in.fetch_add(bytes, std::memory_order_relaxed);
+
+  if (decision.drop_ack) {
+    // Applied, but the caller will never know: report nothing acked. The
+    // retry dedupes against the token tables and recovers the versions.
+    std::fill(outcome.acked.begin(), outcome.acked.end(), 0);
+    std::fill(outcome.versions.begin(), outcome.versions.end(), 0);
+    outcome.status = Status::Unavailable("batch ack lost");
+    return outcome;
+  }
+  if (!whole) {
+    outcome.status =
+        Status::Unavailable("batch torn in flight: " +
+                            std::to_string(items.size() - kept) + " of " +
+                            std::to_string(items.size()) + " items lost");
+  }
+  return outcome;
+}
+
+Result<Bytes> CloudInfrastructure::GetBlobRpc(const std::string& id,
+                                              uint32_t* delay_us) {
+  if (delay_us != nullptr) *delay_us = 0;
+  if (NetworkFaultInjector* injector = fault_injector()) {
+    FaultDecision decision = injector->Next(NetOp::kGet);
+    if (!decision.clean()) metrics_.net_faults.Increment();
+    if (delay_us != nullptr) *delay_us = decision.delay_us;
+    if (decision.outage || decision.throttled) {
+      metrics_.net_outages.Increment();
+      return Status::Unavailable(decision.outage ? "provider outage"
+                                                 : "provider throttled");
+    }
+    // For a read, a lost request and a lost reply are indistinguishable to
+    // the caller and side-effect-free for the provider.
+    if (decision.drop_request || decision.drop_ack) {
+      return Status::Unavailable("get lost in flight: " + id);
+    }
+  }
+  return GetBlob(id);
 }
 
 Result<Bytes> CloudInfrastructure::GetBlob(const std::string& id) {

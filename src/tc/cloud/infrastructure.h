@@ -16,6 +16,7 @@
 #include "tc/common/result.h"
 #include "tc/common/rng.h"
 #include "tc/cloud/blob_store.h"
+#include "tc/cloud/fault_injector.h"
 #include "tc/obs/metrics.h"
 
 namespace tc::cloud {
@@ -103,6 +104,46 @@ class CloudInfrastructure {
   CloudInfrastructure(const AdversaryConfig& adversary,
                       const Options& options);
 
+  /// Per-item outcome of a batched put attempted over the faulty network.
+  /// `versions[i]` is valid where `acked[i]` is non-zero; `status` is OK
+  /// only when every item was acked. A non-OK status with some acked items
+  /// is a *partial* batch — callers must not treat it as all-failed (the
+  /// acked shards are durably stored and must still be verified).
+  struct BatchPutOutcome {
+    Status status = Status::OK();
+    std::vector<uint64_t> versions;
+    std::vector<uint8_t> acked;
+    uint32_t delay_us = 0;      ///< Injected delay to charge to virtual time.
+    uint64_t fault_ordinal = 0; ///< Injector ordinal of this attempt (0=clean).
+    bool all_acked() const { return status.ok(); }
+  };
+
+  /// Attaches (or detaches, with nullptr) the network fault injector the
+  /// RPC-suffixed endpoints consult. Not owned; must outlive its use. The
+  /// plain endpoints below never consult it — only traffic that opts into
+  /// the RPC surface experiences network faults.
+  void set_fault_injector(NetworkFaultInjector* injector) {
+    fault_injector_.store(injector, std::memory_order_release);
+  }
+  NetworkFaultInjector* fault_injector() const {
+    return fault_injector_.load(std::memory_order_acquire);
+  }
+
+  // ---- Blob storage over the faulty network (RPC surface) ----
+  // One call = one network attempt: the injector may lose the request
+  // (kUnavailable, nothing stored), lose the ack (kUnavailable, stored!),
+  // duplicate it (stored once thanks to the tokens), tear a batch (some
+  // items stored), throttle it, or reject it during an outage window.
+  // Idempotency tokens make re-attempts exactly-once; see
+  // BlobStore::PutBatchIdempotent.
+
+  BatchPutOutcome PutBlobBatchRpc(
+      const std::vector<std::pair<std::string, Bytes>>& items,
+      const std::vector<std::string>& tokens);
+  /// Latest blob over the faulty network; `delay_us`, when non-null,
+  /// receives the injected delay to charge to the caller's virtual clock.
+  Result<Bytes> GetBlobRpc(const std::string& id, uint32_t* delay_us = nullptr);
+
   // ---- Blob storage ----
   uint64_t PutBlob(const std::string& id, const Bytes& data);
   /// Stores a batch of blobs in one round-trip; returns versions in input
@@ -187,6 +228,8 @@ class CloudInfrastructure {
     obs::Counter& reads_rolled_back;
     obs::Counter& messages_dropped;
     obs::Counter& messages_replayed;
+    obs::Counter& net_faults;   ///< Non-clean injector decisions applied.
+    obs::Counter& net_outages;  ///< Attempts rejected by an outage window.
     obs::Gauge& blob_lock_contention;
     obs::Gauge& queue_lock_contention;
   };
@@ -200,6 +243,7 @@ class CloudInfrastructure {
   Options options_;
   Metrics metrics_;
   BlobStore blobs_;
+  std::atomic<NetworkFaultInjector*> fault_injector_{nullptr};
   std::vector<std::unique_ptr<RngSlot>> blob_rngs_;    // one per blob shard.
   std::vector<std::unique_ptr<QueueShard>> queue_shards_;
   mutable std::shared_mutex adversary_mu_;

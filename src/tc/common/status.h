@@ -31,6 +31,7 @@ enum class StatusCode {
   kCorruption = 13,
   kIOError = 14,
   kDataLoss = 15,
+  kDeadlineExceeded = 16,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "NotFound").
@@ -103,6 +104,9 @@ class Status {
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const {
@@ -125,6 +129,19 @@ class Status {
     return code() == StatusCode::kResourceExhausted;
   }
   bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  /// True for the errors a retry/backoff engine may transparently retry:
+  /// the provider (or the network leg to it) failed the attempt, but the
+  /// operation itself is well-formed and may succeed later. Deliberately
+  /// excludes kDeadlineExceeded — a deadline is the *caller's* budget; by
+  /// the time it fires, retrying is exactly what must stop.
+  bool IsTransient() const {
+    return code() == StatusCode::kUnavailable ||
+           code() == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

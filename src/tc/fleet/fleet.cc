@@ -1,6 +1,8 @@
 #include "tc/fleet/fleet.h"
 
+#include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "tc/common/rng.h"
 #include "tc/obs/trace.h"
@@ -115,6 +117,257 @@ void FleetRunner::RunCell(size_t cell_index, FleetCellResult* result) {
   }
 }
 
+void FleetRunner::HealOutage() {
+  if (auto* injector = cloud_->fault_injector()) injector->ForceOutage(false);
+  healed_at_us_.store(
+      static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count()),
+      std::memory_order_release);
+}
+
+void FleetRunner::RunCellResilient(size_t cell_index, FleetCellResult* result) {
+  Rng rng(MixSeed(options_.seed, cell_index));
+  result->cell_id = CellId(cell_index);
+
+  net::ChannelOptions channel_options = options_.channel;
+  // Decorrelated jitter stream per cell, so retries do not synchronize.
+  channel_options.seed = MixSeed(options_.seed ^ 0x6e65742d6a697474ULL,
+                                 cell_index);
+  net::ResilientChannel channel(cloud_, result->cell_id, channel_options);
+
+  const size_t docs = options_.docs_per_cell;
+  auto blob_of = [&](size_t doc) {
+    return result->cell_id + "/doc" + std::to_string(doc);
+  };
+
+  // The cell's view of its writes: last ACKED version/payload per doc,
+  // plus a pending slot for the newest write the provider has not acked
+  // (last-writer-wins: a newer write supersedes an older pending one —
+  // the superseded write may still land server-side under its own token,
+  // but always at an older version than the newer write's ack).
+  std::vector<uint64_t> acked_version(docs, 0);
+  std::vector<Bytes> acked_payload(docs);
+  std::vector<uint8_t> has_pending(docs, 0);
+  std::vector<Bytes> pending_payload(docs);
+  std::vector<std::string> pending_token(docs);
+  uint64_t write_seq = 0;
+
+  std::vector<std::pair<std::string, Bytes>> batch;
+  std::vector<std::string> tokens;
+  std::vector<size_t> doc_of;
+
+  // Applies one PutBatch outcome to the per-doc slots. Returns false (and
+  // sets the cell status) on a version anomaly — an acked version must be
+  // strictly above the previous ack (not exactly +1: writes whose ack was
+  // lost legitimately consume versions).
+  auto apply_acks =
+      [&](const net::ResilientChannel::PutBatchResult& outcome) -> bool {
+    for (size_t j = 0; j < batch.size(); ++j) {
+      const size_t doc = doc_of[j];
+      if (outcome.acked[j]) {
+        if (outcome.versions[j] <= acked_version[doc]) {
+          result->status = Status::Internal(
+              result->cell_id + ": non-monotonic version for doc" +
+              std::to_string(doc) + ": got " +
+              std::to_string(outcome.versions[j]) + " after " +
+              std::to_string(acked_version[doc]));
+          return false;
+        }
+        acked_version[doc] = outcome.versions[j];
+        acked_payload[doc] = batch[j].second;
+        // Whether this item was the pending retry or a fresh write that
+        // superseded it, the doc's newest write is now acked.
+        has_pending[doc] = 0;
+      } else {
+        has_pending[doc] = 1;
+        pending_payload[doc] = batch[j].second;
+        pending_token[doc] = tokens[j];
+      }
+    }
+    return true;
+  };
+
+  std::vector<uint8_t> in_batch(docs, 0);
+  for (size_t round = 0; round < options_.rounds_per_cell; ++round) {
+    // --- Batched push: this round's fresh writes + pending retries. ---
+    batch.clear();
+    tokens.clear();
+    doc_of.clear();
+    std::fill(in_batch.begin(), in_batch.end(), 0);
+    for (size_t j = 0; j < options_.put_batch; ++j) {
+      size_t doc = (round * options_.put_batch + j) % options_.docs_per_cell;
+      batch.emplace_back(blob_of(doc), rng.NextBytes(options_.payload_bytes));
+      // Built in place: token minting is on the fault-free hot path.
+      tokens.emplace_back();
+      std::string& token = tokens.back();
+      token.reserve(result->cell_id.size() + 24);
+      token += result->cell_id;
+      token += "/doc";
+      token += std::to_string(doc);
+      token += "/w";
+      token += std::to_string(++write_seq);
+      doc_of.push_back(doc);
+      in_batch[doc] = 1;
+    }
+    const size_t fresh = batch.size();
+    for (size_t doc = 0; doc < docs; ++doc) {
+      if (!has_pending[doc] || in_batch[doc]) continue;
+      batch.emplace_back(blob_of(doc), pending_payload[doc]);
+      tokens.push_back(pending_token[doc]);  // SAME token: at-most-once.
+      doc_of.push_back(doc);
+    }
+
+    obs::Stopwatch put_timer;
+    auto outcome = channel.PutBatch(batch, tokens);
+    put_batch_us_.RecordAlways(put_timer.ElapsedUs());
+    result->puts += fresh;
+    if (!apply_acks(outcome)) return;
+    if (!outcome.status.ok()) {
+      if (outcome.status.IsTransient() ||
+          outcome.status.IsDeadlineExceeded()) {
+        // Degraded, not dead: the unacked items sit in their pending
+        // slots and ride along with future rounds and the drain.
+        for (size_t j = 0; j < fresh; ++j) {
+          if (!outcome.acked[j]) ++result->deferred;
+        }
+      } else {
+        result->status = outcome.status;
+        return;
+      }
+    }
+
+    // --- Metadata-first pulls over the already-written range. ---
+    size_t written = std::min((round + 1) * options_.put_batch,
+                              options_.docs_per_cell);
+    for (size_t g = 0; g < options_.gets_per_round; ++g) {
+      size_t doc = rng.NextBelow(written);
+      obs::Stopwatch get_timer;
+      auto data = channel.Get(blob_of(doc));
+      get_us_.RecordAlways(get_timer.ElapsedUs());
+      ++result->gets;
+      if (!data.ok()) {
+        const Status& s = data.status();
+        if (s.IsTransient() || s.IsDeadlineExceeded()) {
+          ++result->gets_unavailable;  // Partitioned read, not a failure.
+          continue;
+        }
+        if (s.code() == StatusCode::kNotFound && acked_version[doc] == 0) {
+          continue;  // Nothing of ours ever landed — legitimate.
+        }
+        result->status = Status::IntegrityViolation(
+            result->cell_id + ": read of doc" + std::to_string(doc) +
+            " failed although version " +
+            std::to_string(acked_version[doc]) + " was acked: " +
+            s.ToString());
+        return;
+      }
+      // Only a doc with no write in flight has a predictable latest
+      // payload; a pending (or just-superseded) write may or may not have
+      // landed yet.
+      if (options_.verify_reads && !has_pending[doc] &&
+          acked_version[doc] > 0 && *data != acked_payload[doc]) {
+        result->status = Status::IntegrityViolation(
+            result->cell_id + ": read of doc" + std::to_string(doc) +
+            " does not match the acknowledged write");
+        return;
+      }
+    }
+
+    // --- Bus traffic: same pattern as the direct path. ---
+    if (options_.cells > 1 && rng.NextBernoulli(options_.send_prob)) {
+      size_t peer = rng.NextBelow(options_.cells - 1);
+      if (peer >= cell_index) ++peer;  // Never self.
+      cloud_->Send(result->cell_id, CellId(peer), "aggregate",
+                   rng.NextBytes(32));
+      ++result->sends;
+    }
+    result->messages_received += cloud_->Receive(result->cell_id).size();
+
+    if (options_.outage_first_rounds > 0 &&
+        round + 1 == options_.outage_first_rounds &&
+        ++outage_passed_ == options_.cells) {
+      HealOutage();
+    }
+  }
+
+  // --- End-of-run drain: push every pending write until acked. ---
+  auto pending_count = [&] {
+    size_t n = 0;
+    for (size_t doc = 0; doc < docs; ++doc) n += has_pending[doc];
+    return n;
+  };
+  size_t attempts = 0;
+  int outage_waits = 0;
+  while (pending_count() > 0) {
+    auto* injector = cloud_->fault_injector();
+    if (injector != nullptr && injector->forced_outage()) {
+      // Other cells are still inside their forced-outage rounds; nothing
+      // can land until the last one passes. Real time has to elapse here
+      // (the heal is another thread's doing), bounded hard.
+      if (++outage_waits > 60000) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    if (++attempts > options_.drain_attempts) break;
+    if (channel.degraded()) {
+      // Wait out the breaker cooldown on the virtual clock.
+      channel.AdvanceVirtualTime(channel_options.breaker.open_cooldown_us);
+    }
+    batch.clear();
+    tokens.clear();
+    doc_of.clear();
+    for (size_t doc = 0; doc < docs; ++doc) {
+      if (!has_pending[doc]) continue;
+      batch.emplace_back(blob_of(doc), pending_payload[doc]);
+      tokens.push_back(pending_token[doc]);
+      doc_of.push_back(doc);
+    }
+    const size_t before = pending_count();
+    auto outcome = channel.PutBatch(batch, tokens);
+    if (!apply_acks(outcome)) return;
+    result->drained += before - pending_count();
+    if (!outcome.status.ok() && !outcome.status.IsTransient() &&
+        !outcome.status.IsDeadlineExceeded()) {
+      result->status = outcome.status;
+      return;
+    }
+  }
+
+  // --- Convergence: ground-truth read-back against the store itself
+  // (direct surface — the invariant is about provider *state*, and the
+  // network may still be lossy). Every acked write must be the latest.
+  // Skipped on a provably clean run (no injector, nothing ever deferred):
+  // there every round's verify already checked every read, and the audit
+  // would bill one provider RTT per doc to re-prove it. ---
+  if (pending_count() > 0) result->converged = false;
+  const bool audit = cloud_->fault_injector() != nullptr ||
+                     result->deferred > 0 || pending_count() > 0;
+  for (size_t doc = 0; audit && doc < docs; ++doc) {
+    if (acked_version[doc] == 0) continue;
+    auto data = cloud_->GetBlob(blob_of(doc));
+    if (!data.ok()) {
+      result->converged = false;
+      result->status = Status::IntegrityViolation(
+          result->cell_id + ": acked doc" + std::to_string(doc) +
+          " lost: " + data.status().ToString());
+      return;
+    }
+    if (options_.verify_reads && !has_pending[doc] &&
+        *data != acked_payload[doc]) {
+      result->converged = false;
+      result->status = Status::IntegrityViolation(
+          result->cell_id + ": final state of doc" + std::to_string(doc) +
+          " does not match the last acknowledged write");
+      return;
+    }
+  }
+
+  result->retries = channel.stats().retries;
+  result->breaker_opens = channel.stats().breaker_opens;
+}
+
 Result<FleetReport> FleetRunner::Run() {
   if (cloud_ == nullptr) {
     return Status::InvalidArgument("fleet: null cloud");
@@ -126,6 +379,27 @@ Result<FleetReport> FleetRunner::Run() {
   if (options_.put_batch > options_.docs_per_cell) {
     return Status::InvalidArgument(
         "fleet: put_batch must not exceed docs_per_cell");
+  }
+  if (options_.outage_first_rounds > options_.rounds_per_cell) {
+    return Status::InvalidArgument(
+        "fleet: outage_first_rounds must not exceed rounds_per_cell "
+        "(the outage heals when the last cell passes them)");
+  }
+  if (options_.outage_first_rounds > 0 &&
+      (!options_.resilient || cloud_->fault_injector() == nullptr)) {
+    return Status::InvalidArgument(
+        "fleet: a forced outage needs resilient mode and an attached "
+        "fault injector");
+  }
+  if (options_.outage_first_rounds > 0 && options_.cells > options_.threads) {
+    // The heal fires when the LAST cell passes its outage rounds, so every
+    // cell must hold a worker: a queued cell would starve behind drained
+    // cells waiting for the heal.
+    return Status::InvalidArgument(
+        "fleet: a forced outage needs cells <= threads");
+  }
+  if (options_.outage_first_rounds > 0) {
+    cloud_->fault_injector()->ForceOutage(true);
   }
 
   obs::TraceSpan run_span("fleet", "run",
@@ -145,8 +419,13 @@ Result<FleetReport> FleetRunner::Run() {
 
   auto start = std::chrono::steady_clock::now();
   for (size_t i = 0; i < options_.cells; ++i) {
-    bool accepted = pool.Submit(
-        [this, i, &report] { RunCell(i, &report.cells[i]); });
+    bool accepted = pool.Submit([this, i, &report] {
+      if (options_.resilient) {
+        RunCellResilient(i, &report.cells[i]);
+      } else {
+        RunCell(i, &report.cells[i]);
+      }
+    });
     if (!accepted) {
       // A racing shutdown dropped the task: the cell must not read as "ran
       // fine with zero ops" — record the rejection as this cell's outcome.
@@ -176,6 +455,25 @@ Result<FleetReport> FleetRunner::Run() {
     report.gets += cell.gets;
     report.sends += cell.sends;
     report.messages_received += cell.messages_received;
+    report.retries += cell.retries;
+    report.deferred += cell.deferred;
+    report.drained += cell.drained;
+    report.gets_unavailable += cell.gets_unavailable;
+    report.breaker_opens += cell.breaker_opens;
+    if (cell.converged && cell.status.ok()) {
+      ++report.cells_converged;
+    } else {
+      report.converged = false;
+    }
+  }
+  const uint64_t healed_at = healed_at_us_.load(std::memory_order_acquire);
+  if (healed_at != 0) {
+    const uint64_t now_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    report.heal_to_converge_seconds =
+        static_cast<double>(now_us - healed_at) / 1e6;
   }
   report.put_latency = ExtractLatency(put_batch_us_.Snapshot(), put_before);
   report.get_latency = ExtractLatency(get_us_.Snapshot(), get_before);

@@ -1,6 +1,7 @@
 #ifndef TC_FLEET_FLEET_H_
 #define TC_FLEET_FLEET_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -8,6 +9,7 @@
 #include "tc/cloud/infrastructure.h"
 #include "tc/common/result.h"
 #include "tc/fleet/worker_pool.h"
+#include "tc/net/channel.h"
 #include "tc/obs/metrics.h"
 
 namespace tc::fleet {
@@ -34,6 +36,22 @@ struct FleetOptions {
   /// and fails the cell on mismatch — the per-cell error-propagation path.
   /// Leave off when running against a tampering adversary.
   bool verify_reads = true;
+  /// Resilient mode: each cell talks to the provider through its own
+  /// ResilientChannel over the RPC surface (retry/backoff, idempotent
+  /// tokens, circuit breaker), so the fleet survives an attached
+  /// NetworkFaultInjector. A write the channel could not get acked stays
+  /// in the cell's pending slot and is retried in later rounds and in an
+  /// end-of-run drain; unavailable reads are counted, not failed.
+  bool resilient = false;
+  net::ChannelOptions channel;
+  /// With resilient mode and an attached injector: force a full provider
+  /// outage until every cell has completed this many rounds (the E14
+  /// partition-heals-and-converges phase). The heal is an all-cells
+  /// barrier, so this requires cells <= threads. 0 = no forced outage.
+  size_t outage_first_rounds = 0;
+  /// End-of-run drain: bounded attempts per cell to push its pending
+  /// writes after the workload rounds.
+  size_t drain_attempts = 200;
 };
 
 /// Outcome of one simulated cell (error propagation is per cell: one
@@ -45,6 +63,15 @@ struct FleetCellResult {
   uint64_t gets = 0;
   uint64_t sends = 0;
   uint64_t messages_received = 0;
+  // Resilient-mode outcome (all zero / true on the direct path).
+  uint64_t retries = 0;           ///< Channel retry attempts.
+  uint64_t deferred = 0;          ///< Writes left unacked by their round.
+  uint64_t drained = 0;           ///< Pending writes acked by the drain.
+  uint64_t gets_unavailable = 0;  ///< Reads answered kUnavailable.
+  uint64_t breaker_opens = 0;
+  /// Every write this cell got acked is the provider's latest state and
+  /// nothing is left pending — the E14 zero-acked-write-loss invariant.
+  bool converged = true;
 };
 
 /// Latency distribution of one operation class over the run, extracted
@@ -78,6 +105,17 @@ struct FleetReport {
   FleetLatency get_latency;
   uint64_t blob_lock_contention = 0;   // Delta over the run.
   uint64_t queue_lock_contention = 0;  // Delta over the run.
+  // Resilient-mode aggregates.
+  uint64_t retries = 0;
+  uint64_t deferred = 0;
+  uint64_t drained = 0;
+  uint64_t gets_unavailable = 0;
+  uint64_t breaker_opens = 0;
+  size_t cells_converged = 0;
+  bool converged = true;               ///< Every cell converged.
+  /// Seconds from the forced outage healing to the whole fleet done
+  /// (rounds + drain + convergence check). 0 when no outage was forced.
+  double heal_to_converge_seconds = 0;
   std::vector<FleetCellResult> cells;
 };
 
@@ -98,11 +136,17 @@ class FleetRunner {
 
  private:
   void RunCell(size_t cell_index, FleetCellResult* result);
+  void RunCellResilient(size_t cell_index, FleetCellResult* result);
+  /// Called by the cell that completes the outage phase last: lifts the
+  /// forced outage and stamps the heal time.
+  void HealOutage();
 
   cloud::CloudInfrastructure* cloud_;
   FleetOptions options_;
   obs::Histogram& put_batch_us_;
   obs::Histogram& get_us_;
+  std::atomic<size_t> outage_passed_{0};
+  std::atomic<uint64_t> healed_at_us_{0};  // Host steady µs; 0 = not healed.
 };
 
 }  // namespace tc::fleet

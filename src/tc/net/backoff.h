@@ -1,0 +1,79 @@
+#ifndef TC_NET_BACKOFF_H_
+#define TC_NET_BACKOFF_H_
+
+#include <cstdint>
+
+#include "tc/common/rng.h"
+
+namespace tc::net {
+
+/// Retry-delay policy. All delays are *virtual* microseconds: the channel
+/// charges them to its simulated clock and its deadline budget — nothing
+/// in tc::net ever sleeps on the wall clock, which is what lets the whole
+/// retry engine run (and be unit-tested) deterministically.
+struct BackoffPolicy {
+  uint64_t initial_us = 500;
+  uint64_t max_us = 200000;
+  /// Exponential base used when `decorrelated` is off.
+  double multiplier = 2.0;
+  /// Decorrelated jitter (the AWS architecture-blog variant):
+  ///   delay_n = min(max_us, uniform(initial_us, 3 * delay_{n-1}))
+  /// which spreads a thundering herd of reconnecting cells across the
+  /// whole window instead of synchronizing them on powers of two. When
+  /// off: full-jitter exponential, uniform(0, min(max, initial * m^n)).
+  bool decorrelated = true;
+};
+
+/// One retry sequence. Deterministic for a given (policy, seed); Reset()
+/// rewinds to the first delay but keeps consuming the same RNG stream (two
+/// operations on one channel share the stream, they do not replay it).
+class Backoff {
+ public:
+  Backoff(const BackoffPolicy& policy, uint64_t seed);
+
+  /// Delay to charge before the next attempt.
+  uint64_t NextDelayUs();
+
+  /// Starts a new retry sequence (new operation).
+  void Reset();
+
+  /// Delays handed out since the last Reset.
+  uint32_t attempt() const { return attempt_; }
+
+ private:
+  BackoffPolicy policy_;
+  Rng rng_;
+  uint64_t prev_us_;
+  uint32_t attempt_ = 0;
+};
+
+/// Virtual-time budget of one operation: every attempt and every backoff
+/// delay is charged here; when the budget runs dry the operation fails
+/// with kDeadlineExceeded instead of retrying forever.
+class DeadlineBudget {
+ public:
+  explicit DeadlineBudget(uint64_t budget_us) : remaining_us_(budget_us) {}
+
+  /// Charges `us`; returns false once the budget is exhausted.
+  bool Charge(uint64_t us) {
+    spent_us_ += us;
+    if (us >= remaining_us_) {
+      remaining_us_ = 0;
+      return false;
+    }
+    remaining_us_ -= us;
+    return true;
+  }
+
+  bool exhausted() const { return remaining_us_ == 0; }
+  uint64_t remaining_us() const { return remaining_us_; }
+  uint64_t spent_us() const { return spent_us_; }
+
+ private:
+  uint64_t remaining_us_;
+  uint64_t spent_us_ = 0;
+};
+
+}  // namespace tc::net
+
+#endif  // TC_NET_BACKOFF_H_

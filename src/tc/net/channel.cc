@@ -1,0 +1,211 @@
+#include "tc/net/channel.h"
+
+#include <utility>
+
+#include "tc/obs/flight_recorder.h"
+
+namespace tc::net {
+
+ResilientChannel::Metrics::Metrics()
+    : retries(obs::MetricRegistry::Global().GetCounter("cloud.retries")),
+      breaker_opens(
+          obs::MetricRegistry::Global().GetCounter("net.breaker_opens")),
+      deadline_exceeded(
+          obs::MetricRegistry::Global().GetCounter("net.deadline_exceeded")) {}
+
+ResilientChannel::ResilientChannel(cloud::CloudInfrastructure* cloud,
+                                   std::string peer_id,
+                                   const ChannelOptions& options)
+    : cloud_(cloud),
+      peer_(std::move(peer_id)),
+      options_(options),
+      backoff_(options.backoff, options.seed),
+      breaker_(options.breaker) {}
+
+std::string ResilientChannel::MintToken() {
+  return peer_ + "/op" + std::to_string(next_token_seq_++);
+}
+
+void ResilientChannel::RecordOpFailure(const Status& status,
+                                       const std::string& what) {
+  ++stats_.ops_failed;
+  const bool was_open = breaker_.open();
+  breaker_.RecordFailure(virtual_now_us_);
+  if (!was_open && breaker_.open()) {
+    ++stats_.breaker_opens;
+    metrics_.breaker_opens.Increment();
+  }
+  if (status.IsDeadlineExceeded()) {
+    ++stats_.deadline_exceeded;
+    metrics_.deadline_exceeded.Increment();
+    if (!was_open && breaker_.open()) {
+      // The channel just gave up on the provider entirely: deadline burnt
+      // AND the circuit flipped open. Capture the moment (the active trace
+      // context ties the dump to the cell operation that was abandoned).
+      ++stats_.give_ups;
+      obs::FlightRecorder::Global().Trigger(
+          "net:sync_giveup",
+          peer_ + " " + what + ": " + status.ToString() + " after " +
+              std::to_string(virtual_now_us_) + "us virtual");
+    }
+  }
+}
+
+ResilientChannel::PutBatchResult ResilientChannel::PutBatch(
+    const std::vector<std::pair<std::string, Bytes>>& items,
+    std::vector<std::string> tokens) {
+  PutBatchResult result;
+  result.versions.assign(items.size(), 0);
+  result.acked.assign(items.size(), 0);
+  if (items.empty()) return result;
+  if (tokens.empty()) {
+    tokens.reserve(items.size());
+    for (size_t i = 0; i < items.size(); ++i) tokens.push_back(MintToken());
+  }
+  if (tokens.size() != items.size()) {
+    result.status =
+        Status::InvalidArgument("channel put: one token per item required");
+    return result;
+  }
+
+  if (!breaker_.AllowRequest(virtual_now_us_)) {
+    ++stats_.breaker_rejections;
+    result.status = Status::Unavailable("circuit open to " + peer_ +
+                                        "'s provider (degraded mode)");
+    return result;
+  }
+
+  DeadlineBudget budget(options_.op_deadline_us);
+  backoff_.Reset();
+  size_t unacked = items.size();
+  // First attempt sends the caller's vectors untouched; retry attempts
+  // materialize the still-unacked subset.
+  std::vector<std::pair<std::string, Bytes>> sub_items;
+  std::vector<std::string> sub_tokens;
+  std::vector<size_t> sub_index;
+  bool first = true;
+  Status last_error;
+
+  for (;;) {
+    ++stats_.attempts;
+    ++result.attempts;
+    if (!first) {
+      ++stats_.retries;
+      metrics_.retries.Increment();
+    }
+    cloud::CloudInfrastructure::BatchPutOutcome outcome =
+        first ? cloud_->PutBlobBatchRpc(items, tokens)
+              : cloud_->PutBlobBatchRpc(sub_items, sub_tokens);
+    const uint64_t charged = options_.attempt_cost_us + outcome.delay_us;
+    virtual_now_us_ += charged;
+    bool in_budget = budget.Charge(charged);
+
+    // Merge acked items back into caller coordinates.
+    for (size_t j = 0; j < outcome.acked.size(); ++j) {
+      if (!outcome.acked[j]) continue;
+      size_t i = first ? j : sub_index[j];
+      if (!result.acked[i]) {
+        result.acked[i] = 1;
+        result.versions[i] = outcome.versions[j];
+        --unacked;
+      }
+    }
+    if (unacked == 0) {
+      breaker_.RecordSuccess(virtual_now_us_);
+      ++stats_.ops_ok;
+      result.status = Status::OK();
+      return result;
+    }
+    if (!outcome.status.ok() && !outcome.status.IsTransient()) {
+      result.status = outcome.status;
+      RecordOpFailure(result.status, "put_batch");
+      return result;
+    }
+    last_error = outcome.status;
+
+    uint64_t delay = backoff_.NextDelayUs();
+    virtual_now_us_ += delay;
+    in_budget = budget.Charge(delay) && in_budget;
+    if (!in_budget) {
+      result.status = Status::DeadlineExceeded(
+          "put batch to " + peer_ + "'s space: " +
+          std::to_string(unacked) + " of " + std::to_string(items.size()) +
+          " items unacked after " + std::to_string(budget.spent_us()) +
+          "us (last: " + last_error.ToString() + ")");
+      RecordOpFailure(result.status, "put_batch");
+      return result;
+    }
+
+    // Rebuild the unacked subset for the retry.
+    sub_items.clear();
+    sub_tokens.clear();
+    sub_index.clear();
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (result.acked[i]) continue;
+      sub_items.push_back(items[i]);
+      sub_tokens.push_back(tokens[i]);
+      sub_index.push_back(i);
+    }
+    first = false;
+  }
+}
+
+Result<uint64_t> ResilientChannel::Put(const std::string& id,
+                                       const Bytes& data,
+                                       const std::string* token) {
+  std::vector<std::pair<std::string, Bytes>> items;
+  items.emplace_back(id, data);
+  std::vector<std::string> tokens;
+  if (token != nullptr) tokens.push_back(*token);
+  PutBatchResult result = PutBatch(items, std::move(tokens));
+  if (!result.status.ok()) return result.status;
+  return result.versions[0];
+}
+
+Result<Bytes> ResilientChannel::Get(const std::string& id) {
+  if (!breaker_.AllowRequest(virtual_now_us_)) {
+    ++stats_.breaker_rejections;
+    return Status::Unavailable("circuit open to " + peer_ +
+                               "'s provider (degraded mode)");
+  }
+  DeadlineBudget budget(options_.op_deadline_us);
+  backoff_.Reset();
+  bool first = true;
+  for (;;) {
+    ++stats_.attempts;
+    if (!first) {
+      ++stats_.retries;
+      metrics_.retries.Increment();
+    }
+    first = false;
+    uint32_t delay_us = 0;
+    Result<Bytes> data = cloud_->GetBlobRpc(id, &delay_us);
+    const uint64_t charged = options_.attempt_cost_us + delay_us;
+    virtual_now_us_ += charged;
+    bool in_budget = budget.Charge(charged);
+    if (data.ok()) {
+      breaker_.RecordSuccess(virtual_now_us_);
+      ++stats_.ops_ok;
+      return data;
+    }
+    if (!data.status().IsTransient()) {
+      // kNotFound, kIntegrityViolation, ... are answers, not network
+      // failures: they do not trip the breaker.
+      ++stats_.ops_failed;
+      return data.status();
+    }
+    uint64_t delay = backoff_.NextDelayUs();
+    virtual_now_us_ += delay;
+    in_budget = budget.Charge(delay) && in_budget;
+    if (!in_budget) {
+      Status deadline = Status::DeadlineExceeded(
+          "get " + id + ": still unavailable after " +
+          std::to_string(budget.spent_us()) + "us (last: " +
+          data.status().ToString() + ")");
+      RecordOpFailure(deadline, "get");
+      return deadline;
+    }
+  }
+}
+
+}  // namespace tc::net

@@ -1,0 +1,129 @@
+#ifndef TC_NET_CHANNEL_H_
+#define TC_NET_CHANNEL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tc/cloud/infrastructure.h"
+#include "tc/common/result.h"
+#include "tc/net/backoff.h"
+#include "tc/net/circuit_breaker.h"
+#include "tc/obs/metrics.h"
+
+namespace tc::net {
+
+struct ChannelOptions {
+  BackoffPolicy backoff;
+  CircuitBreakerPolicy breaker;
+  /// Virtual retry budget of one operation (attempts + backoff delays).
+  /// Exhaustion maps to kDeadlineExceeded.
+  uint64_t op_deadline_us = 250000;
+  /// Virtual cost charged per network attempt (models the WAN round-trip
+  /// on the simulated clock; independent of the cloud's wall-clock
+  /// op_latency_us knob).
+  uint64_t attempt_cost_us = 2000;
+  uint64_t seed = 1;
+};
+
+struct ChannelStats {
+  uint64_t attempts = 0;       ///< Network attempts sent.
+  uint64_t retries = 0;        ///< Attempts beyond the first of each op.
+  uint64_t ops_ok = 0;
+  uint64_t ops_failed = 0;     ///< Non-OK results returned to the caller.
+  uint64_t deadline_exceeded = 0;
+  uint64_t breaker_rejections = 0;  ///< Ops answered kUnavailable in O(1).
+  uint64_t breaker_opens = 0;
+  uint64_t give_ups = 0;  ///< Deadline exhaustions that opened the circuit.
+};
+
+/// Client-side resilient channel to the untrusted provider: exponential
+/// backoff with decorrelated jitter, per-operation deadline budgets,
+/// idempotent puts, and a circuit breaker that converts a dead provider
+/// into fast-failing kUnavailable (degraded mode) instead of a deadline
+/// burn per call.
+///
+/// All timing is virtual: a channel-private microsecond clock advanced by
+/// attempt costs, injected delays and backoff waits. Nothing sleeps, so
+/// retry storms run at CPU speed and replay deterministically.
+///
+/// One channel per cell, used from one thread at a time (a cell's
+/// operations are serial); the class is not thread-safe.
+///
+/// Observability: `cloud.retries` counts retry attempts fleet-wide;
+/// `net.breaker_opens` / `net.deadline_exceeded` count give-up events.
+/// When an operation exhausts its deadline budget *and* that failure flips
+/// the breaker open, the flight recorder captures a "net:sync_giveup" dump
+/// with the active trace context — the moment a cell abandons the sync
+/// path and falls back to its outbox.
+class ResilientChannel {
+ public:
+  struct PutBatchResult {
+    Status status = Status::OK();     ///< OK = every item acked.
+    std::vector<uint64_t> versions;   ///< Valid where acked[i] != 0.
+    std::vector<uint8_t> acked;
+    uint32_t attempts = 0;
+  };
+
+  ResilientChannel(cloud::CloudInfrastructure* cloud, std::string peer_id,
+                   const ChannelOptions& options);
+
+  /// Batched idempotent put. `tokens` names each logical write; pass an
+  /// empty vector to let the channel mint fresh (peer, seq) tokens. A
+  /// partially acked batch returns the per-item truth — callers must
+  /// treat acked items as durable even when `status` is not OK.
+  PutBatchResult PutBatch(
+      const std::vector<std::pair<std::string, Bytes>>& items,
+      std::vector<std::string> tokens = {});
+
+  /// Single idempotent put. A caller-supplied stable token (e.g.
+  /// "cell|blob|v3") makes the put exactly-once across process restarts —
+  /// the outbox drain path relies on this.
+  Result<uint64_t> Put(const std::string& id, const Bytes& data,
+                       const std::string* token = nullptr);
+
+  Result<Bytes> Get(const std::string& id);
+
+  /// True while the circuit is open: operations fail fast with
+  /// kUnavailable and the owner should queue work locally.
+  bool degraded() const { return breaker_.open(); }
+
+  /// Channel-virtual microseconds since construction.
+  uint64_t virtual_now_us() const { return virtual_now_us_; }
+
+  /// Advances virtual time without traffic — how a caller "waits out" the
+  /// breaker cooldown during catch-up instead of wall-sleeping.
+  void AdvanceVirtualTime(uint64_t us) { virtual_now_us_ += us; }
+
+  const ChannelStats& stats() const { return stats_; }
+  const std::string& peer() const { return peer_; }
+  cloud::CloudInfrastructure* cloud() { return cloud_; }
+
+ private:
+  struct Metrics {
+    Metrics();
+    obs::Counter& retries;            // cloud.retries
+    obs::Counter& breaker_opens;      // net.breaker_opens
+    obs::Counter& deadline_exceeded;  // net.deadline_exceeded
+  };
+
+  std::string MintToken();
+  /// Charges an op-level failure to the breaker; fires the give-up dump if
+  /// this failure is a deadline exhaustion that opened the circuit.
+  void RecordOpFailure(const Status& status, const std::string& what);
+
+  cloud::CloudInfrastructure* cloud_;
+  std::string peer_;
+  ChannelOptions options_;
+  Backoff backoff_;
+  CircuitBreaker breaker_;
+  Metrics metrics_;
+  ChannelStats stats_;
+  uint64_t virtual_now_us_ = 0;
+  uint64_t next_token_seq_ = 1;
+};
+
+}  // namespace tc::net
+
+#endif  // TC_NET_CHANNEL_H_

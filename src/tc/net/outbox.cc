@@ -1,0 +1,125 @@
+#include "tc/net/outbox.h"
+
+#include <utility>
+
+#include "tc/common/codec.h"
+
+namespace tc::net {
+
+namespace {
+constexpr char kPrefix[] = "outbox/";
+constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+}  // namespace
+
+Bytes OutboxRecord::Serialize() const {
+  BinaryWriter w;
+  w.PutString("tc.outbox.v1");
+  w.PutU64(seq);
+  w.PutString(blob_id);
+  w.PutString(token);
+  w.PutBytes(payload);
+  return w.Take();
+}
+
+Result<OutboxRecord> OutboxRecord::Deserialize(const Bytes& data) {
+  BinaryReader r(data);
+  TC_ASSIGN_OR_RETURN(std::string magic, r.GetString());
+  if (magic != "tc.outbox.v1") {
+    return Status::Corruption("bad outbox record magic");
+  }
+  OutboxRecord record;
+  TC_ASSIGN_OR_RETURN(record.seq, r.GetU64());
+  TC_ASSIGN_OR_RETURN(record.blob_id, r.GetString());
+  TC_ASSIGN_OR_RETURN(record.token, r.GetString());
+  TC_ASSIGN_OR_RETURN(record.payload, r.GetBytes());
+  return record;
+}
+
+Outbox::Outbox(storage::LogStore* store) : store_(store) {}
+
+std::string Outbox::Key(uint64_t seq) {
+  // Fixed-width so scan order (were it ever lexicographic) matches seq
+  // order; 16 hex digits cover the full range.
+  char buf[17];
+  for (int i = 15; i >= 0; --i) {
+    buf[i] = "0123456789abcdef"[seq & 0xf];
+    seq >>= 4;
+  }
+  buf[16] = '\0';
+  return std::string(kPrefix) + buf;
+}
+
+Status Outbox::Load() {
+  pending_.clear();
+  by_blob_.clear();
+  Status decode_status;
+  TC_RETURN_IF_ERROR(
+      store_->ScanAll([&](const std::string& key, const Bytes& value) {
+        if (!decode_status.ok() ||
+            key.compare(0, kPrefixLen, kPrefix) != 0) {
+          return;
+        }
+        auto record = OutboxRecord::Deserialize(value);
+        if (!record.ok()) {
+          decode_status = record.status();
+          return;
+        }
+        next_seq_ = std::max(next_seq_, record->seq + 1);
+        by_blob_[record->blob_id] = record->seq;
+        pending_.emplace(record->seq, std::move(*record));
+      }));
+  TC_RETURN_IF_ERROR(decode_status);
+  // Drop superseded duplicates (an Enqueue's tombstone may have been lost
+  // to a crash between the Put and the Delete): keep only the seq each
+  // blob id maps to.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (by_blob_[it->second.blob_id] != it->first) {
+      (void)store_->Delete(Key(it->first));
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+Status Outbox::Enqueue(const std::string& blob_id, const std::string& token,
+                       Bytes payload) {
+  OutboxRecord record;
+  record.seq = next_seq_++;
+  record.blob_id = blob_id;
+  record.token = token;
+  record.payload = std::move(payload);
+  TC_RETURN_IF_ERROR(store_->Put(Key(record.seq), record.Serialize()));
+  // Supersede an older pending push of the same blob: last writer wins.
+  auto old = by_blob_.find(blob_id);
+  if (old != by_blob_.end()) {
+    (void)store_->Delete(Key(old->second));
+    pending_.erase(old->second);
+  }
+  by_blob_[blob_id] = record.seq;
+  ++enqueued_total_;
+  pending_.emplace(record.seq, std::move(record));
+  return Status::OK();
+}
+
+Status Outbox::MarkDone(uint64_t seq) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) {
+    return Status::NotFound("no pending outbox record " + std::to_string(seq));
+  }
+  TC_RETURN_IF_ERROR(store_->Delete(Key(seq)));
+  by_blob_.erase(it->second.blob_id);
+  pending_.erase(it);
+  ++drained_total_;
+  return Status::OK();
+}
+
+const OutboxRecord* Outbox::FindByBlobId(const std::string& blob_id) const {
+  auto it = by_blob_.find(blob_id);
+  if (it == by_blob_.end()) return nullptr;
+  auto record = pending_.find(it->second);
+  return record == pending_.end() ? nullptr : &record->second;
+}
+
+}  // namespace tc::net

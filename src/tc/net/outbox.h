@@ -1,0 +1,77 @@
+#ifndef TC_NET_OUTBOX_H_
+#define TC_NET_OUTBOX_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "tc/common/bytes.h"
+#include "tc/common/result.h"
+#include "tc/storage/log_store.h"
+
+namespace tc::net {
+
+/// One queued cloud push: the sealed payload (safe at rest — it is exactly
+/// the ciphertext that would have gone over the wire) plus the idempotency
+/// token minted for the *first* attempt. Replaying the record after a
+/// crash reuses the token, so a push that actually reached the provider
+/// before the ack was lost is deduped server-side, never duplicated.
+struct OutboxRecord {
+  uint64_t seq = 0;
+  std::string blob_id;
+  std::string token;
+  Bytes payload;
+
+  Bytes Serialize() const;
+  static Result<OutboxRecord> Deserialize(const Bytes& data);
+};
+
+/// Durable outbox journaled through the cell's encrypted LogStore under
+/// "outbox/<seq>" keys: a write the channel could not push survives
+/// reboots and drains on reconnect (anti-entropy catch-up). Only the
+/// *latest* record per blob id is kept — superseded pushes never need to
+/// reach the provider, the catch-up converges straight to the newest
+/// state (last-writer-wins, exactly the manifest semantics).
+///
+/// Not thread-safe (per-cell, like the LogStore underneath).
+class Outbox {
+ public:
+  explicit Outbox(storage::LogStore* store);
+
+  /// Rebuilds the pending set from the store (call once after Open).
+  Status Load();
+
+  /// Journals a push; a pending record for the same blob id is superseded
+  /// (tombstoned) in the same call.
+  Status Enqueue(const std::string& blob_id, const std::string& token,
+                 Bytes payload);
+
+  /// Drops a drained record.
+  Status MarkDone(uint64_t seq);
+
+  /// Pending records by seq (drain in this order).
+  const std::map<uint64_t, OutboxRecord>& pending() const { return pending_; }
+
+  /// The pending push for `blob_id`, if any — degraded-mode reads are
+  /// served from here (read-your-writes while partitioned).
+  const OutboxRecord* FindByBlobId(const std::string& blob_id) const;
+
+  size_t size() const { return pending_.size(); }
+  bool empty() const { return pending_.empty(); }
+  uint64_t enqueued_total() const { return enqueued_total_; }
+  uint64_t drained_total() const { return drained_total_; }
+
+ private:
+  static std::string Key(uint64_t seq);
+
+  storage::LogStore* store_;
+  std::map<uint64_t, OutboxRecord> pending_;
+  std::map<std::string, uint64_t> by_blob_;  // blob_id -> pending seq.
+  uint64_t next_seq_ = 1;
+  uint64_t enqueued_total_ = 0;
+  uint64_t drained_total_ = 0;
+};
+
+}  // namespace tc::net
+
+#endif  // TC_NET_OUTBOX_H_

@@ -1,0 +1,293 @@
+// Chaos suite for the partition-tolerant sync stack: randomized network
+// fault schedules over a concurrent fleet, with three invariants that must
+// hold at ANY fault rate:
+//   1. zero acked-write loss      — an acknowledged write is durable and
+//                                   readable as the provider's latest state
+//   2. no version anomalies       — acked versions per doc strictly increase
+//   3. no duplicate side-effects  — versions created == idempotency tokens
+//                                   applied, however often the network
+//                                   re-delivered each write
+// plus the CI reproducibility gate: every chaos seed must replay exactly
+// from its printed fault schedule.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "tc/cell/cell.h"
+#include "tc/cloud/fault_injector.h"
+#include "tc/cloud/infrastructure.h"
+#include "tc/common/clock.h"
+#include "tc/fleet/fleet.h"
+
+namespace tc {
+namespace {
+
+using cloud::CloudInfrastructure;
+using cloud::NetworkFaultConfig;
+using cloud::NetworkFaultInjector;
+using fleet::FleetOptions;
+using fleet::FleetReport;
+
+FleetOptions ChaosFleet() {
+  FleetOptions options;
+  options.cells = 16;
+  options.threads = 8;
+  options.rounds_per_cell = 12;
+  options.put_batch = 4;
+  options.gets_per_round = 4;
+  options.docs_per_cell = 16;
+  options.payload_bytes = 64;
+  options.resilient = true;
+  return options;
+}
+
+void ExpectInvariantsHold(const FleetReport& report,
+                          CloudInfrastructure& cloud,
+                          const NetworkFaultInjector& injector,
+                          const std::string& label) {
+  // Cell-level: no cell died (version anomalies, acked-write loss and
+  // read-mismatch all fail the cell with a descriptive status).
+  for (const auto& cell : report.cells) {
+    EXPECT_TRUE(cell.status.ok())
+        << label << " " << cell.cell_id << ": " << cell.status.ToString()
+        << "\nfault schedule:\n" << injector.FormatSchedule();
+  }
+  EXPECT_EQ(report.cells_failed, 0u) << label;
+  // Convergence: nothing left pending, every acked write is the latest
+  // provider state.
+  EXPECT_TRUE(report.converged) << label;
+  EXPECT_EQ(report.cells_converged, report.cells.size()) << label;
+  // Exactly-once: however many times the network re-delivered writes
+  // (lost acks, duplicates, torn batches), each logical write created at
+  // most one version.
+  EXPECT_EQ(cloud.blob_store().versions_created(),
+            cloud.blob_store().tokens_applied())
+      << label << ": duplicate side-effects ("
+      << cloud.blob_store().token_dedupe_hits() << " dedupe hits)";
+}
+
+TEST(ChaosTest, FaultRateSweepHoldsInvariants) {
+  // 1%, 10% and 50% per-attempt fault rates, several seeds each, over an
+  // 8-thread fleet. All virtual-time: no wall sleeps anywhere.
+  for (double rate : {0.01, 0.10, 0.50}) {
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+      CloudInfrastructure cloud;
+      NetworkFaultConfig config = NetworkFaultConfig::Lossy(rate, seed);
+      config.delay_prob = rate;
+      config.throttle_prob = rate / 10;
+      NetworkFaultInjector injector(config);
+      cloud.set_fault_injector(&injector);
+
+      FleetOptions options = ChaosFleet();
+      options.seed = seed;
+      fleet::FleetRunner runner(&cloud, options);
+      auto report = runner.Run();
+      std::string label =
+          "rate=" + std::to_string(rate) + " seed=" + std::to_string(seed);
+      ASSERT_TRUE(report.ok()) << label << ": " << report.status().ToString();
+      ExpectInvariantsHold(*report, cloud, injector, label);
+      if (rate >= 0.10) {
+        // The network really was hostile; the fleet really did retry.
+        EXPECT_GT(injector.stats().faults(), 0u) << label;
+        EXPECT_GT(report->retries, 0u) << label;
+      }
+    }
+  }
+}
+
+TEST(ChaosTest, ForcedOutageDefersThenConverges) {
+  CloudInfrastructure cloud;
+  NetworkFaultConfig config = NetworkFaultConfig::Lossy(0.05, 77);
+  NetworkFaultInjector injector(config);
+  cloud.set_fault_injector(&injector);
+
+  FleetOptions options = ChaosFleet();
+  options.cells = 8;  // Outage heal is an all-cells barrier: cells<=threads.
+  options.outage_first_rounds = 6;
+  options.seed = 77;
+  fleet::FleetRunner runner(&cloud, options);
+  auto report = runner.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ExpectInvariantsHold(*report, cloud, injector, "outage");
+  // The partition phase really deferred writes, and the drain (plus the
+  // post-heal rounds) pushed every one of them through.
+  EXPECT_GT(report->deferred, 0u);
+  EXPECT_GT(report->breaker_opens, 0u);
+  EXPECT_GT(report->heal_to_converge_seconds, 0.0);
+  EXPECT_FALSE(injector.forced_outage());
+}
+
+TEST(ChaosTest, ChaosSeedReproducesFromPrintedSchedule) {
+  // The CI gate: a single-threaded chaos run must replay EXACTLY from its
+  // recorded fault schedule — same fleet outcome, same provider state,
+  // same schedule. (Multi-threaded runs are deterministic per ordinal;
+  // single-threaded the whole run is, which is what makes a printed
+  // schedule a complete repro recipe.)
+  FleetOptions options = ChaosFleet();
+  options.cells = 2;
+  options.threads = 1;
+  options.seed = 1234;
+
+  NetworkFaultConfig config = NetworkFaultConfig::Lossy(0.25, 1234);
+  config.delay_prob = 0.25;
+
+  CloudInfrastructure original_cloud;
+  NetworkFaultInjector original(config);
+  original_cloud.set_fault_injector(&original);
+  fleet::FleetRunner original_runner(&original_cloud, options);
+  auto original_report = original_runner.Run();
+  ASSERT_TRUE(original_report.ok());
+  ASSERT_GT(original.stats().faults(), 0u);
+
+  CloudInfrastructure replay_cloud;
+  auto replay =
+      NetworkFaultInjector::FromSchedule(original.Schedule(), config.seed);
+  replay_cloud.set_fault_injector(replay.get());
+  fleet::FleetRunner replay_runner(&replay_cloud, options);
+  auto replay_report = replay_runner.Run();
+  ASSERT_TRUE(replay_report.ok());
+
+  // Identical fault history...
+  EXPECT_EQ(replay->FormatSchedule(), original.FormatSchedule());
+  EXPECT_EQ(replay->stats().faults(), original.stats().faults());
+  // ...identical fleet outcome...
+  EXPECT_EQ(replay_report->puts, original_report->puts);
+  EXPECT_EQ(replay_report->gets, original_report->gets);
+  EXPECT_EQ(replay_report->retries, original_report->retries);
+  EXPECT_EQ(replay_report->deferred, original_report->deferred);
+  EXPECT_EQ(replay_report->drained, original_report->drained);
+  EXPECT_EQ(replay_report->gets_unavailable,
+            original_report->gets_unavailable);
+  // ...identical provider state.
+  EXPECT_EQ(replay_cloud.blob_store().versions_created(),
+            original_cloud.blob_store().versions_created());
+  EXPECT_EQ(replay_cloud.blob_store().tokens_applied(),
+            original_cloud.blob_store().tokens_applied());
+  EXPECT_EQ(replay_cloud.stats().bytes_in, original_cloud.stats().bytes_in);
+}
+
+// ---- TrustedCell end-to-end: degraded mode and anti-entropy catch-up ----
+
+class CellChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clock_.Set(MakeTimestamp(2013, 1, 7, 9, 0, 0));
+    cloud_.set_fault_injector(&injector_);
+  }
+
+  std::unique_ptr<cell::TrustedCell> MakeCell(const std::string& id,
+                                              bool resilient) {
+    cell::TrustedCell::Config config;
+    config.cell_id = id;
+    config.owner = "alice";
+    config.use_default_flash = false;
+    config.flash.page_size = 2048;
+    config.flash.pages_per_block = 16;
+    config.flash.block_count = 256;
+    config.resilient_sync = resilient;
+    config.channel.op_deadline_us = 30000;  // Fail over to the outbox fast.
+    auto cell = cell::TrustedCell::Create(config, &cloud_, &directory_,
+                                          &clock_);
+    TC_CHECK(cell.ok());
+    return std::move(*cell);
+  }
+
+  SimulatedClock clock_;
+  NetworkFaultInjector injector_{NetworkFaultConfig{}};  // Clean by default.
+  cloud::CloudInfrastructure cloud_;
+  cell::CellDirectory directory_;
+};
+
+TEST_F(CellChaosTest, PartitionedCellKeepsWorkingAndCatchesUp) {
+  auto gateway = MakeCell("alice-gateway", /*resilient=*/true);
+  policy::Policy policy = cell::MakeOwnerPolicy("alice");
+
+  // Pull the WAN cable, then store: the push cannot reach the provider.
+  injector_.ForceOutage(true);
+  auto doc_id = gateway->StoreDocument("tax return", "tax 2012",
+                                       ToBytes("the document body"), policy);
+  ASSERT_TRUE(doc_id.ok()) << doc_id.status().ToString();
+  EXPECT_TRUE(gateway->degraded());
+  EXPECT_GE(gateway->outbox_pending(), 1u);
+  EXPECT_GE(gateway->stats().pushes_deferred, 1u);
+
+  // Degraded reads: the queued sealed payload serves read-your-writes.
+  auto fetched = gateway->FetchDocument(*doc_id);
+  ASSERT_TRUE(fetched.ok()) << fetched.status().ToString();
+  EXPECT_EQ(*fetched, ToBytes("the document body"));
+
+  // Updates while partitioned supersede the queued push (last-writer-wins
+  // in the outbox: at most one pending record per blob).
+  ASSERT_TRUE(gateway->UpdateDocument(*doc_id, ToBytes("amended body")).ok());
+  EXPECT_EQ(*gateway->FetchDocument(*doc_id), ToBytes("amended body"));
+
+  // Sync while partitioned queues the manifest too.
+  ASSERT_TRUE(gateway->SyncPush().ok());
+  const size_t pending_before = gateway->outbox_pending();
+  EXPECT_GE(pending_before, 2u);  // Doc payload + manifest.
+
+  // Catch-up against a dead provider reports kUnavailable and keeps the
+  // queue intact.
+  auto stalled = gateway->CatchUp();
+  EXPECT_EQ(stalled.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(gateway->degraded());
+  EXPECT_EQ(gateway->outbox_pending(), pending_before);
+
+  // Plug the cable back in: catch-up drains, read-back-verifies and exits
+  // degraded mode.
+  injector_.ForceOutage(false);
+  ASSERT_TRUE(gateway->CatchUp().ok());
+  EXPECT_FALSE(gateway->degraded());
+  EXPECT_EQ(gateway->outbox_pending(), 0u);
+  EXPECT_GE(gateway->stats().catchup_drained, 2u);
+  EXPECT_EQ(*gateway->FetchDocument(*doc_id), ToBytes("amended body"));
+
+  // The drained state is real provider state: a sibling cell of the same
+  // owner syncs it down and opens the payload.
+  auto phone = MakeCell("alice-phone", /*resilient=*/false);
+  ASSERT_TRUE(phone->SyncPull().ok());
+  auto on_phone = phone->FetchDocument(*doc_id);
+  ASSERT_TRUE(on_phone.ok()) << on_phone.status().ToString();
+  EXPECT_EQ(*on_phone, ToBytes("amended body"));
+
+  // No duplicate side-effects despite the deferred/replayed pushes.
+  EXPECT_EQ(cloud_.blob_store().versions_created(),
+            cloud_.blob_store().tokens_applied());
+}
+
+TEST_F(CellChaosTest, OutboxSurvivesLossyNetwork) {
+  // A flaky (not dead) provider: pushes retry through and the cell never
+  // needs its outbox, or defers and later catches up — either way the
+  // document is durable and exactly-once.
+  NetworkFaultConfig config = NetworkFaultConfig::Lossy(0.3, 4242);
+  NetworkFaultInjector lossy(config);
+  cloud_.set_fault_injector(&lossy);
+
+  auto gateway = MakeCell("alice-lossy", /*resilient=*/true);
+  policy::Policy policy = cell::MakeOwnerPolicy("alice");
+  std::vector<std::string> doc_ids;
+  for (int i = 0; i < 10; ++i) {
+    auto doc_id = gateway->StoreDocument(
+        "doc" + std::to_string(i), "chaos",
+        ToBytes("body" + std::to_string(i)), policy);
+    ASSERT_TRUE(doc_id.ok()) << doc_id.status().ToString();
+    doc_ids.push_back(*doc_id);
+  }
+  // Drain whatever the lossy network deferred.
+  for (int attempt = 0; attempt < 50 && gateway->outbox_pending() > 0;
+       ++attempt) {
+    (void)gateway->CatchUp();
+  }
+  EXPECT_EQ(gateway->outbox_pending(), 0u);
+  EXPECT_FALSE(gateway->degraded());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(*gateway->FetchDocument(doc_ids[i]),
+              ToBytes("body" + std::to_string(i)));
+  }
+  EXPECT_EQ(cloud_.blob_store().versions_created(),
+            cloud_.blob_store().tokens_applied());
+}
+
+}  // namespace
+}  // namespace tc

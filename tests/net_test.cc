@@ -1,0 +1,492 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tc/cloud/fault_injector.h"
+#include "tc/cloud/infrastructure.h"
+#include "tc/common/rng.h"
+#include "tc/net/backoff.h"
+#include "tc/net/channel.h"
+#include "tc/net/circuit_breaker.h"
+#include "tc/net/outbox.h"
+#include "tc/storage/page_transform.h"
+
+namespace tc::net {
+namespace {
+
+using cloud::CloudInfrastructure;
+using cloud::FaultDecision;
+using cloud::NetOp;
+using cloud::NetworkFaultConfig;
+using cloud::NetworkFaultInjector;
+
+// ---- Backoff ----
+
+TEST(BackoffTest, DeterministicForSeedAndBounded) {
+  BackoffPolicy policy;
+  policy.initial_us = 100;
+  policy.max_us = 10000;
+  Backoff a(policy, 42), b(policy, 42), c(policy, 43);
+  bool seeds_differ = false;
+  for (int i = 0; i < 200; ++i) {
+    uint64_t da = a.NextDelayUs();
+    EXPECT_EQ(da, b.NextDelayUs());
+    if (da != c.NextDelayUs()) seeds_differ = true;
+    // Decorrelated jitter never goes below the floor or above the cap.
+    EXPECT_GE(da, policy.initial_us);
+    EXPECT_LE(da, policy.max_us);
+  }
+  EXPECT_TRUE(seeds_differ);
+}
+
+TEST(BackoffTest, DecorrelatedDelaysSpreadAcrossTheWindow) {
+  BackoffPolicy policy;
+  policy.initial_us = 100;
+  policy.max_us = 100000;
+  Backoff backoff(policy, 7);
+  std::vector<uint64_t> delays;
+  for (int i = 0; i < 300; ++i) delays.push_back(backoff.NextDelayUs());
+  auto [min_it, max_it] = std::minmax_element(delays.begin(), delays.end());
+  // Jitter, not a fixed ladder: the draws cover a wide range.
+  EXPECT_LT(*min_it, 1000u);
+  EXPECT_GT(*max_it, 50000u);
+}
+
+TEST(BackoffTest, FullJitterRespectsExponentialCeiling) {
+  BackoffPolicy policy;
+  policy.decorrelated = false;
+  policy.initial_us = 100;
+  policy.multiplier = 2.0;
+  policy.max_us = 100000;
+  Backoff backoff(policy, 11);
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    uint64_t ceiling = std::min<uint64_t>(
+        policy.max_us, policy.initial_us * (1ull << attempt));
+    EXPECT_LE(backoff.NextDelayUs(), ceiling);
+  }
+}
+
+TEST(BackoffTest, ResetRewindsGrowthButNotTheStream) {
+  BackoffPolicy policy;
+  Backoff backoff(policy, 5);
+  for (int i = 0; i < 10; ++i) backoff.NextDelayUs();
+  EXPECT_EQ(backoff.attempt(), 10u);
+  backoff.Reset();
+  EXPECT_EQ(backoff.attempt(), 0u);
+  // Post-reset the first delay is bounded by the decorrelated window of a
+  // fresh sequence: [initial, 3 * initial).
+  uint64_t first = backoff.NextDelayUs();
+  EXPECT_GE(first, policy.initial_us);
+  EXPECT_LT(first, 3 * policy.initial_us);
+}
+
+TEST(DeadlineBudgetTest, ChargesUntilExhaustion) {
+  DeadlineBudget budget(1000);
+  EXPECT_TRUE(budget.Charge(400));
+  EXPECT_EQ(budget.spent_us(), 400u);
+  EXPECT_EQ(budget.remaining_us(), 600u);
+  EXPECT_FALSE(budget.Charge(600));  // Exactly drains it.
+  EXPECT_TRUE(budget.exhausted());
+  EXPECT_FALSE(budget.Charge(1));
+  EXPECT_EQ(budget.spent_us(), 1001u);
+}
+
+// ---- Circuit breaker ----
+
+TEST(CircuitBreakerTest, OpensAfterThresholdRejectsThenRecovers) {
+  CircuitBreakerPolicy policy;
+  policy.failure_threshold = 3;
+  policy.open_cooldown_us = 1000;
+  CircuitBreaker breaker(policy);
+
+  uint64_t now = 0;
+  EXPECT_TRUE(breaker.AllowRequest(now));
+  breaker.RecordFailure(now);
+  breaker.RecordFailure(now);
+  EXPECT_FALSE(breaker.open());
+  breaker.RecordFailure(now);  // Third consecutive failure.
+  EXPECT_TRUE(breaker.open());
+  EXPECT_EQ(breaker.opens(), 1u);
+
+  // While open and inside the cooldown: rejected in O(1).
+  EXPECT_FALSE(breaker.AllowRequest(now + 500));
+  EXPECT_EQ(breaker.rejections(), 1u);
+
+  // Past the cooldown: exactly one half-open probe is admitted.
+  EXPECT_TRUE(breaker.AllowRequest(now + 1500));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  breaker.RecordSuccess(now + 1500);
+  EXPECT_FALSE(breaker.open());
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopens) {
+  CircuitBreakerPolicy policy;
+  policy.failure_threshold = 1;
+  policy.open_cooldown_us = 1000;
+  CircuitBreaker breaker(policy);
+  breaker.RecordFailure(0);
+  EXPECT_TRUE(breaker.open());
+  EXPECT_TRUE(breaker.AllowRequest(2000));  // Half-open probe.
+  breaker.RecordFailure(2000);              // Probe failed.
+  EXPECT_TRUE(breaker.open());
+  EXPECT_EQ(breaker.opens(), 2u);
+  EXPECT_FALSE(breaker.AllowRequest(2500));  // Cooldown restarted.
+}
+
+TEST(CircuitBreakerTest, SuccessResetsConsecutiveFailures) {
+  CircuitBreakerPolicy policy;
+  policy.failure_threshold = 3;
+  CircuitBreaker breaker(policy);
+  for (int i = 0; i < 10; ++i) {
+    breaker.RecordFailure(0);
+    breaker.RecordFailure(0);
+    breaker.RecordSuccess(0);  // Never three in a row.
+  }
+  EXPECT_FALSE(breaker.open());
+  EXPECT_EQ(breaker.opens(), 0u);
+}
+
+// ---- Fault injector ----
+
+TEST(FaultInjectorTest, DecisionsArePureFunctionOfSeed) {
+  NetworkFaultConfig config = NetworkFaultConfig::Lossy(0.3, 99);
+  config.delay_prob = 0.2;
+  NetworkFaultInjector a(config), b(config);
+  Rng ops(123);
+  for (int i = 0; i < 500; ++i) {
+    NetOp op = static_cast<NetOp>(ops.NextBelow(5));
+    FaultDecision da = a.Next(op);
+    FaultDecision db = b.Next(op);
+    EXPECT_EQ(da.ToString(), db.ToString()) << "ordinal " << da.ordinal;
+  }
+  EXPECT_EQ(a.FormatSchedule(), b.FormatSchedule());
+  EXPECT_GT(a.stats().faults(), 0u);
+}
+
+TEST(FaultInjectorTest, ScheduleReplaysExactly) {
+  NetworkFaultConfig config = NetworkFaultConfig::Lossy(0.25, 7);
+  config.delay_prob = 0.3;
+  NetworkFaultInjector original(config);
+  std::vector<NetOp> op_sequence;
+  Rng ops(5);
+  for (int i = 0; i < 400; ++i) {
+    op_sequence.push_back(static_cast<NetOp>(ops.NextBelow(5)));
+    original.Next(op_sequence.back());
+  }
+  auto replay =
+      NetworkFaultInjector::FromSchedule(original.Schedule(), config.seed);
+  for (NetOp op : op_sequence) replay->Next(op);
+  EXPECT_EQ(replay->FormatSchedule(), original.FormatSchedule());
+  EXPECT_EQ(replay->stats().faults(), original.stats().faults());
+}
+
+TEST(FaultInjectorTest, OutageWindowsAndForcedOutage) {
+  NetworkFaultConfig config;
+  config.outage_ops = {{3, 6}};  // Ordinals 3, 4, 5.
+  NetworkFaultInjector injector(config);
+  for (uint64_t ordinal = 1; ordinal <= 8; ++ordinal) {
+    FaultDecision d = injector.Next(NetOp::kPut);
+    EXPECT_EQ(d.outage, ordinal >= 3 && ordinal < 6) << "ordinal " << ordinal;
+  }
+  EXPECT_EQ(injector.stats().outage_rejections, 3u);
+
+  injector.ForceOutage(true);
+  EXPECT_TRUE(injector.Next(NetOp::kGet).outage);
+  injector.ForceOutage(false);
+  EXPECT_FALSE(injector.Next(NetOp::kGet).outage);
+}
+
+// ---- Resilient channel against an injected network ----
+
+std::unique_ptr<NetworkFaultInjector> ReplayOf(
+    std::vector<FaultDecision> decisions) {
+  return NetworkFaultInjector::FromSchedule(decisions);
+}
+
+FaultDecision At(uint64_t ordinal, NetOp op) {
+  FaultDecision d;
+  d.ordinal = ordinal;
+  d.op = op;
+  return d;
+}
+
+TEST(ChannelTest, RetriesThroughDroppedRequests) {
+  CloudInfrastructure cloud;
+  FaultDecision drop1 = At(1, NetOp::kPutBatch);
+  drop1.drop_request = true;
+  FaultDecision drop2 = At(2, NetOp::kPutBatch);
+  drop2.drop_request = true;
+  auto injector = ReplayOf({drop1, drop2});
+  cloud.set_fault_injector(injector.get());
+
+  ResilientChannel channel(&cloud, "alice", ChannelOptions{});
+  auto version = channel.Put("blob", ToBytes("payload"));
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(*version, 1u);
+  EXPECT_EQ(channel.stats().attempts, 3u);
+  EXPECT_EQ(channel.stats().retries, 2u);
+  EXPECT_EQ(*cloud.GetBlob("blob"), ToBytes("payload"));
+}
+
+TEST(ChannelTest, LostAckRetriesDedupeUnderTheSameToken) {
+  CloudInfrastructure cloud;
+  FaultDecision lost_ack = At(1, NetOp::kPutBatch);
+  lost_ack.drop_ack = true;
+  auto injector = ReplayOf({lost_ack});
+  cloud.set_fault_injector(injector.get());
+
+  ResilientChannel channel(&cloud, "alice", ChannelOptions{});
+  std::string token = "alice|blob|v1";
+  auto version = channel.Put("blob", ToBytes("once"), &token);
+  ASSERT_TRUE(version.ok());
+  // First attempt stored it (ack lost); the retry was answered from the
+  // token table: ONE version, not two.
+  EXPECT_EQ(*version, 1u);
+  EXPECT_EQ(*cloud.LatestBlobVersion("blob"), 1u);
+  EXPECT_EQ(cloud.blob_store().token_dedupe_hits(), 1u);
+  EXPECT_EQ(cloud.blob_store().versions_created(),
+            cloud.blob_store().tokens_applied());
+}
+
+TEST(ChannelTest, NetworkDuplicateAppliesOnce) {
+  CloudInfrastructure cloud;
+  FaultDecision duplicate = At(1, NetOp::kPutBatch);
+  duplicate.duplicate = true;
+  auto injector = ReplayOf({duplicate});
+  cloud.set_fault_injector(injector.get());
+
+  ResilientChannel channel(&cloud, "alice", ChannelOptions{});
+  auto version = channel.Put("blob", ToBytes("payload"));
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(*version, 1u);
+  EXPECT_EQ(*cloud.LatestBlobVersion("blob"), 1u);
+  EXPECT_EQ(cloud.blob_store().token_dedupe_hits(), 1u);
+}
+
+TEST(ChannelTest, TornBatchIsCompletedItemByItem) {
+  CloudInfrastructure cloud;
+  // Every batch attempt up to #5 arrives torn, losing each item with
+  // p=0.5; the channel must converge by retrying only the unacked items.
+  std::vector<FaultDecision> torn;
+  for (uint64_t ordinal = 1; ordinal <= 5; ++ordinal) {
+    FaultDecision d = At(ordinal, NetOp::kPutBatch);
+    d.item_seed = 1000 + ordinal;
+    d.item_loss = 0.5;
+    torn.push_back(d);
+  }
+  auto injector = ReplayOf(torn);
+  cloud.set_fault_injector(injector.get());
+
+  ResilientChannel channel(&cloud, "alice", ChannelOptions{});
+  std::vector<std::pair<std::string, Bytes>> items;
+  for (int i = 0; i < 8; ++i) {
+    items.emplace_back("doc" + std::to_string(i),
+                       ToBytes("payload" + std::to_string(i)));
+  }
+  auto outcome = channel.PutBatch(items);
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(outcome.acked[i]);
+    EXPECT_EQ(*cloud.GetBlob("doc" + std::to_string(i)),
+              ToBytes("payload" + std::to_string(i)));
+    // Retries of an acked item never re-apply: one version per item.
+    EXPECT_EQ(*cloud.LatestBlobVersion("doc" + std::to_string(i)), 1u);
+  }
+  EXPECT_EQ(cloud.blob_store().versions_created(),
+            cloud.blob_store().tokens_applied());
+}
+
+TEST(ChannelTest, NonTransientErrorsAreAnswersNotNetworkFailures) {
+  CloudInfrastructure cloud;
+  ResilientChannel channel(&cloud, "alice", ChannelOptions{});
+  auto missing = channel.Get("never-stored");
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(channel.stats().attempts, 1u);  // No retry on kNotFound.
+  EXPECT_FALSE(channel.degraded());
+}
+
+TEST(ChannelTest, DeadGoesDegradedThenRecovers) {
+  CloudInfrastructure cloud;
+  NetworkFaultConfig config;  // Clean network; outage forced by hand.
+  NetworkFaultInjector injector(config);
+  cloud.set_fault_injector(&injector);
+  injector.ForceOutage(true);
+
+  ChannelOptions options;
+  options.op_deadline_us = 20000;
+  ResilientChannel channel(&cloud, "alice", options);
+
+  // Every operation burns its deadline budget until the breaker trips
+  // (3 consecutive op failures by default), then ops fail FAST.
+  for (int i = 0; i < 3; ++i) {
+    auto r = channel.Put("blob", ToBytes("x"));
+    EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded)
+        << r.status().ToString();
+  }
+  EXPECT_TRUE(channel.degraded());
+  EXPECT_EQ(channel.stats().breaker_opens, 1u);
+  EXPECT_EQ(channel.stats().give_ups, 1u);
+
+  const uint64_t attempts_before = channel.stats().attempts;
+  auto rejected = channel.Put("blob", ToBytes("x"));
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(channel.stats().attempts, attempts_before);  // O(1) fast fail.
+  EXPECT_EQ(channel.stats().breaker_rejections, 1u);
+
+  // Network heals; waiting out the cooldown on the virtual clock admits a
+  // half-open probe, which succeeds and closes the circuit.
+  injector.ForceOutage(false);
+  channel.AdvanceVirtualTime(ChannelOptions{}.breaker.open_cooldown_us);
+  auto recovered = channel.Put("blob", ToBytes("back"));
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_FALSE(channel.degraded());
+  EXPECT_EQ(*cloud.GetBlob("blob"), ToBytes("back"));
+}
+
+TEST(ChannelTest, PartialBatchReportsPerItemTruth) {
+  CloudInfrastructure cloud;
+  // One torn first attempt, then a permanent outage: whatever the first
+  // attempt acked must be reported acked even though the op fails.
+  FaultDecision torn = At(1, NetOp::kPutBatch);
+  torn.item_seed = 4242;
+  torn.item_loss = 0.5;
+  auto injector = ReplayOf({torn});
+  cloud.set_fault_injector(injector.get());
+
+  ChannelOptions options;
+  options.op_deadline_us = 30000;
+  ResilientChannel channel(&cloud, "alice", options);
+
+  std::vector<std::pair<std::string, Bytes>> items;
+  for (int i = 0; i < 8; ++i) {
+    items.emplace_back("doc" + std::to_string(i), ToBytes("p"));
+  }
+  auto first = channel.PutBatch(items);
+  ASSERT_TRUE(first.status.ok());  // Clean retries completed the batch.
+
+  injector->ForceOutage(true);
+  std::vector<std::pair<std::string, Bytes>> second;
+  for (int i = 0; i < 4; ++i) {
+    second.emplace_back("other" + std::to_string(i), ToBytes("q"));
+  }
+  auto failed = channel.PutBatch(second);
+  EXPECT_FALSE(failed.status.ok());
+  // Nothing could land during a full outage — per-item truth agrees.
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(failed.acked[i]);
+}
+
+// ---- Exactly-once property: 0–3 deliveries in any order ----
+
+TEST(IdempotencyPropertyTest, RandomRedeliveryHasExactlyOnceEffects) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    cloud::BlobStore store;
+    Rng rng(seed);
+    constexpr int kWrites = 24;
+
+    // Each logical write: unique token, its own blob, delivered 0–3 times.
+    struct Write {
+      std::string blob;
+      std::string token;
+      Bytes payload;
+      int deliveries;
+    };
+    std::vector<Write> writes;
+    std::vector<int> delivery_order;
+    for (int w = 0; w < kWrites; ++w) {
+      Write write;
+      write.blob = "blob" + std::to_string(w % 6);  // Blobs shared.
+      write.token = "w" + std::to_string(w);
+      write.payload = rng.NextBytes(16);
+      write.deliveries = static_cast<int>(rng.NextBelow(4));  // 0..3
+      for (int d = 0; d < write.deliveries; ++d) delivery_order.push_back(w);
+      writes.push_back(std::move(write));
+    }
+    // Random delivery order (reordering across writes and duplicates).
+    for (size_t i = delivery_order.size(); i > 1; --i) {
+      std::swap(delivery_order[i - 1], delivery_order[rng.NextBelow(i)]);
+    }
+
+    uint64_t delivered_total = 0;
+    std::map<std::string, uint64_t> version_of_token;
+    for (int w : delivery_order) {
+      auto versions = store.PutBatchIdempotent(
+          {{writes[w].blob, writes[w].payload}}, {writes[w].token});
+      ++delivered_total;
+      auto seen = version_of_token.find(writes[w].token);
+      if (seen == version_of_token.end()) {
+        version_of_token[writes[w].token] = versions[0];
+      } else {
+        // Re-delivery: answered with the original version, no new effect.
+        EXPECT_EQ(versions[0], seen->second) << "seed " << seed;
+      }
+    }
+
+    uint64_t unique_delivered = version_of_token.size();
+    EXPECT_EQ(store.tokens_applied(), unique_delivered) << "seed " << seed;
+    EXPECT_EQ(store.versions_created(), unique_delivered) << "seed " << seed;
+    EXPECT_EQ(store.token_dedupe_hits(), delivered_total - unique_delivered)
+        << "seed " << seed;
+  }
+}
+
+// ---- Durable outbox ----
+
+storage::FlashGeometry OutboxGeometry() {
+  storage::FlashGeometry geo;
+  geo.page_size = 512;
+  geo.pages_per_block = 8;
+  geo.block_count = 64;
+  return geo;
+}
+
+TEST(OutboxTest, EnqueueSupersedesAndSurvivesReopen) {
+  storage::FlashDevice device(OutboxGeometry());
+  storage::PlainPageTransform plain;
+  auto store =
+      storage::LogStore::Open(&device, &plain, storage::LogStoreOptions{});
+  ASSERT_TRUE(store.ok());
+
+  Outbox outbox(store->get());
+  ASSERT_TRUE(outbox.Load().ok());
+  EXPECT_TRUE(outbox.empty());
+
+  ASSERT_TRUE(outbox.Enqueue("blob-a", "a|v1", ToBytes("a1")).ok());
+  ASSERT_TRUE(outbox.Enqueue("blob-b", "b|v1", ToBytes("b1")).ok());
+  ASSERT_TRUE(outbox.Enqueue("blob-a", "a|v2", ToBytes("a2")).ok());
+  // blob-a's first push was superseded: two pending, newest payload wins.
+  EXPECT_EQ(outbox.size(), 2u);
+  ASSERT_NE(outbox.FindByBlobId("blob-a"), nullptr);
+  EXPECT_EQ(outbox.FindByBlobId("blob-a")->payload, ToBytes("a2"));
+  EXPECT_EQ(outbox.FindByBlobId("blob-a")->token, "a|v2");
+
+  // Drain one record.
+  uint64_t b_seq = outbox.FindByBlobId("blob-b")->seq;
+  ASSERT_TRUE(outbox.MarkDone(b_seq).ok());
+  EXPECT_EQ(outbox.size(), 1u);
+  EXPECT_EQ(outbox.FindByBlobId("blob-b"), nullptr);
+
+  // Power-cycle: the queue is journaled through the store.
+  ASSERT_TRUE((*store)->Flush().ok());
+  store->reset();
+  auto reopened =
+      storage::LogStore::Open(&device, &plain, storage::LogStoreOptions{});
+  ASSERT_TRUE(reopened.ok());
+  Outbox revived(reopened->get());
+  ASSERT_TRUE(revived.Load().ok());
+  EXPECT_EQ(revived.size(), 1u);
+  ASSERT_NE(revived.FindByBlobId("blob-a"), nullptr);
+  EXPECT_EQ(revived.FindByBlobId("blob-a")->payload, ToBytes("a2"));
+  EXPECT_EQ(revived.FindByBlobId("blob-a")->token, "a|v2");
+  // New sequence numbers continue above the revived ones.
+  ASSERT_TRUE(revived.Enqueue("blob-c", "c|v1", ToBytes("c1")).ok());
+  EXPECT_GT(revived.FindByBlobId("blob-c")->seq,
+            revived.FindByBlobId("blob-a")->seq);
+}
+
+}  // namespace
+}  // namespace tc::net
