@@ -2,12 +2,16 @@
 # The tier-1 verify, end to end (cited by ROADMAP.md):
 #
 #   1. configure + build the default tree;
-#   2. run the full ctest suite;
-#   3. chaos determinism gate: every chaos seed must replay exactly from
+#   2. run the full ctest suite (the fast "unit" lane: every suite at its
+#      cheap default sweep depth);
+#   3. deep chaos/txn lane (opt-in): TC_CHAOS_SEEDS widens the fault-rate x
+#      seed sweeps, re-running only the suites labeled chaos/txn — CI keeps
+#      the cheap default, nightly jobs export TC_CHAOS_SEEDS=25;
+#   4. chaos determinism gate: every chaos seed must replay exactly from
 #      its printed fault schedule (a chaos failure that cannot be
 #      reproduced from its schedule print is not debuggable);
-#   4. check no generated build*/ tree is tracked or staged;
-#   5. run the obs export validator (quick bench run + trace JSON checks).
+#   5. check no generated build*/ tree is tracked or staged;
+#   6. run the obs export validator (quick bench run + trace JSON checks).
 #
 # Each step's script documents its own skip conditions; this wrapper just
 # sequences them and stops at the first failure.
@@ -17,6 +21,10 @@ cd "$(dirname "$0")/.."
 cmake -B build -S .
 cmake --build build -j "$(nproc)"
 (cd build && ctest --output-on-failure -j "$(nproc)")
+if [ -n "${TC_CHAOS_SEEDS:-}" ]; then
+  echo "ci: deep chaos/txn lane (TC_CHAOS_SEEDS=${TC_CHAOS_SEEDS})"
+  (cd build && ctest --output-on-failure -L 'chaos|txn')
+fi
 build/tests/chaos_test \
   --gtest_filter='*ReproducesFromPrintedSchedule*' > /dev/null || {
   echo "ci: chaos schedule replay is NOT deterministic" >&2

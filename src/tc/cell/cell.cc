@@ -1,7 +1,9 @@
 #include "tc/cell/cell.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "tc/cloud/txn.h"
 #include "tc/common/codec.h"
 #include "tc/crypto/sha256.h"
 #include "tc/obs/flight_recorder.h"
@@ -343,8 +345,12 @@ Status TrustedCell::PushBlob(const std::string& blob_id, uint64_t version,
 
 Result<Bytes> TrustedCell::PullBlob(const std::string& blob_id) {
   if (outbox_ != nullptr) {
-    if (const net::OutboxRecord* queued = outbox_->FindByBlobId(blob_id)) {
-      return queued->payload;  // Read-your-writes while partitioned.
+    // Read-your-writes while partitioned; a pending transaction's write of
+    // this blob is served through the out-param (the txn record's own
+    // payload field is empty).
+    const Bytes* queued_payload = nullptr;
+    if (outbox_->FindByBlobId(blob_id, &queued_payload) != nullptr) {
+      return *queued_payload;
     }
   }
   if (!channel_) return cloud_->GetBlob(blob_id);
@@ -365,6 +371,49 @@ Status TrustedCell::CatchUp() {
       channel_->AdvanceVirtualTime(config_.channel.breaker.open_cooldown_us);
     }
     const net::OutboxRecord& record = outbox_->pending().begin()->second;
+    if (record.is_txn) {
+      // A journaled whole-transaction drains through CommitTxn under its
+      // original token: blind last-writer-wins writes (the partition aged
+      // the read set past any meaningful validation), answered from the
+      // provider's token table if the pre-crash commit already applied —
+      // either way all writes land atomically, exactly once.
+      cloud::TxnRequest req;
+      req.token = record.token;
+      for (const net::OutboxTxnWrite& write : record.txn_writes) {
+        req.writes.push_back(
+            {write.blob_id, write.payload, cloud::kBaseVersionAny});
+      }
+      cloud::TxnOutcome outcome = channel_->CommitTxn(req);
+      if (!outcome.committed) {
+        if (outcome.status.IsTransient() ||
+            outcome.status.IsDeadlineExceeded()) {
+          stats_.catchup_drained += drained;
+          return Status::Unavailable(
+              "catch-up stalled with " + std::to_string(outbox_->size()) +
+              " pushes pending: " + outcome.status.ToString());
+        }
+        return outcome.status;  // Blind writes never abort; a real error.
+      }
+      if (outcome.versions.size() != record.txn_writes.size()) {
+        return Status::Internal("txn outcome/write-set size mismatch");
+      }
+      for (size_t i = 0; i < record.txn_writes.size(); ++i) {
+        auto echo = cloud_->GetBlobVersion(record.txn_writes[i].blob_id,
+                                           outcome.versions[i]);
+        if (!echo.ok() || *echo != record.txn_writes[i].payload) {
+          RecordIncident(IncidentType::kPayloadTampered,
+                         record.txn_writes[i].blob_id,
+                         "catch-up txn read-back mismatch at version " +
+                             std::to_string(outcome.versions[i]));
+          return Status::IntegrityViolation(
+              "catch-up read-back mismatch on " +
+              record.txn_writes[i].blob_id);
+        }
+      }
+      TC_RETURN_IF_ERROR(outbox_->MarkDone(record.seq));
+      ++drained;
+      continue;
+    }
     auto pushed = channel_->Put(record.blob_id, record.payload,
                                 &record.token);
     if (!pushed.ok()) {
@@ -600,6 +649,140 @@ Status TrustedCell::UpdateDocument(const std::string& doc_id,
   return SaveMeta(meta, /*is_new=*/false);
 }
 
+Status TrustedCell::UpdateDocumentAtomic(const std::string& doc_id,
+                                         const Bytes& content,
+                                         const policy::Policy* new_policy) {
+  obs::TraceSpan span("cell", "update_document_atomic", doc_id);
+  TC_ASSIGN_OR_RETURN(DocumentMeta meta, LoadMeta(doc_id));
+  if (meta.origin_owner != config_.owner) {
+    return Status::PermissionDenied("cannot update a document shared by " +
+                                    meta.origin_owner);
+  }
+  ++meta.version;
+  meta.size = content.size();
+  if (new_policy != nullptr) {
+    meta.policy_envelope = policy::StickyPolicy::BindWithMac(
+        *new_policy, doc_id, StickyMac(meta.key_name));
+  }
+  obs::Stopwatch seal_timer;
+  TC_ASSIGN_OR_RETURN(
+      Bytes sealed,
+      tee_->Seal(meta.key_name, DocumentAad(doc_id, meta.version, {}),
+                 content));
+  metrics_.seal_us.Record(seal_timer.ElapsedUs());
+
+  // Stable across every retry AND the outbox fallback: the provider's
+  // txn-token table makes this logical update exactly-once.
+  const std::string token = PushToken("txn/" + meta.blob_id, meta.version);
+
+  // Degraded fallback: journal the whole transaction and succeed locally.
+  // Used both when the provider is unreachable and when a commit's fate is
+  // unresolved — the drain re-sends under the same token, so the update
+  // applies at most once either way.
+  auto defer = [&](uint64_t manifest_version, Bytes manifest_blob) -> Status {
+    if (outbox_ == nullptr) {
+      return Status::Unavailable(
+          "provider unreachable and no outbox configured");
+    }
+    std::vector<net::OutboxTxnWrite> writes;
+    writes.push_back({meta.blob_id, sealed});
+    writes.push_back({ManifestBlobId(), std::move(manifest_blob)});
+    TC_RETURN_IF_ERROR(outbox_->EnqueueTxn(token, std::move(writes)));
+    ++stats_.txns_deferred;
+    EnterDegraded();
+    TC_RETURN_IF_ERROR(SaveMeta(meta, /*is_new=*/false));
+    while (tee_->CounterValue("manifest-seen") < manifest_version) {
+      tee_->IncrementCounter("manifest-seen");
+    }
+    ++stats_.atomic_updates;
+    return Status::OK();
+  };
+
+  Status last_abort = Status::Aborted("atomic update: contention");
+  constexpr int kMaxAttempts = 8;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    // Observe the provider under one snapshot. First-committer-wins
+    // validation re-checks both versions at commit, so a stale observation
+    // costs one abort, never correctness.
+    bool reachable = true;
+    cloud::SnapshotDescriptor snap;
+    uint64_t doc_base = 0;
+    uint64_t manifest_base = 0;
+    if (channel_) {
+      auto got = channel_->GetSnapshot();
+      if (got.ok()) {
+        snap = std::move(*got);
+      } else if (got.status().IsTransient() ||
+                 got.status().IsDeadlineExceeded()) {
+        reachable = false;
+      } else {
+        return got.status();
+      }
+    } else {
+      snap = cloud_->GetSnapshot();
+    }
+    auto observe = [&](const std::string& id, uint64_t* base) -> Status {
+      if (!reachable) return Status::OK();
+      auto read = channel_ ? channel_->GetAtSnapshot(id, snap)
+                           : cloud_->GetBlobAtSnapshot(id, snap);
+      if (read.ok()) {
+        *base = read->version;
+        return Status::OK();
+      }
+      if (read.status().IsNotFound()) return Status::OK();
+      if (read.status().IsTransient() ||
+          read.status().IsDeadlineExceeded()) {
+        reachable = false;
+        return Status::OK();
+      }
+      return read.status();
+    };
+    TC_RETURN_IF_ERROR(observe(meta.blob_id, &doc_base));
+    TC_RETURN_IF_ERROR(observe(ManifestBlobId(), &manifest_base));
+
+    // The manifest must advance past both the TEE floor and whatever the
+    // provider holds.
+    uint64_t manifest_version =
+        std::max(tee_->CounterValue("manifest-seen"), manifest_base) + 1;
+    TC_ASSIGN_OR_RETURN(Bytes manifest_blob,
+                        BuildManifestBlob(manifest_version, &meta));
+
+    if (!reachable) return defer(manifest_version, std::move(manifest_blob));
+
+    cloud::TxnRequest req;
+    req.token = token;
+    req.snapshot = snap;
+    req.writes.push_back({meta.blob_id, sealed, doc_base});
+    req.writes.push_back(
+        {ManifestBlobId(), std::move(manifest_blob), manifest_base});
+    cloud::TxnOutcome outcome =
+        channel_ ? channel_->CommitTxn(req) : cloud_->CommitTxn(req);
+    if (outcome.committed) {
+      TC_RETURN_IF_ERROR(SaveMeta(meta, /*is_new=*/false));
+      while (tee_->CounterValue("manifest-seen") < manifest_version) {
+        tee_->IncrementCounter("manifest-seen");
+      }
+      ++stats_.atomic_updates;
+      ++stats_.sync_pushes;  // The commit published a fresh manifest.
+      return Status::OK();
+    }
+    if (outcome.status.IsAborted()) {
+      // First committer won — refresh the snapshot, rebuild the manifest
+      // against the new base, retry under the SAME token.
+      ++stats_.atomic_update_aborts;
+      last_abort = outcome.status;
+      continue;
+    }
+    if (outcome.status.IsTransient() ||
+        outcome.status.IsDeadlineExceeded()) {
+      // Unresolved fate; the token table resolves it at drain time.
+      return defer(manifest_version, std::move(req.writes[1].data));
+    }
+    return outcome.status;
+  }
+  return last_abort;
+}
+
 Result<Bytes> TrustedCell::FetchAndOpen(const DocumentMeta& meta) {
   TC_ASSIGN_OR_RETURN(Bytes blob, PullBlob(meta.blob_id));
   obs::Stopwatch unseal_timer;
@@ -693,12 +876,16 @@ std::vector<DocumentMeta> TrustedCell::ListDocuments() {
 
 // ---- Sync ----
 
-Status TrustedCell::SyncPush() {
-  obs::TraceSpan span("cell", "sync_push", config_.cell_id);
-  // Collect own documents.
+Result<Bytes> TrustedCell::BuildManifestBlob(
+    uint64_t version, const DocumentMeta* override_meta) {
+  // Collect own documents, substituting the caller's not-yet-saved meta.
   BinaryWriter body;
   std::vector<std::string> own;
   for (const auto& [doc_id, number] : doc_numbers_) {
+    if (override_meta != nullptr && doc_id == override_meta->doc_id) {
+      own.push_back(doc_id);
+      continue;
+    }
     TC_ASSIGN_OR_RETURN(DocumentMeta meta, LoadMeta(doc_id));
     if (meta.origin_owner == config_.owner && meta.origin_cell.empty()) {
       own.push_back(doc_id);
@@ -706,18 +893,12 @@ Status TrustedCell::SyncPush() {
   }
   body.PutVarint(own.size());
   for (const std::string& doc_id : own) {
+    if (override_meta != nullptr && doc_id == override_meta->doc_id) {
+      body.PutBytes(EncodeMeta(*override_meta, 0));
+      continue;
+    }
     TC_ASSIGN_OR_RETURN(DocumentMeta meta, LoadMeta(doc_id));
     body.PutBytes(EncodeMeta(meta, 0));
-  }
-
-  // Manifest version: strictly above both our floor and whatever the
-  // cloud currently advertises (so concurrent cells don't collide).
-  uint64_t floor = tee_->CounterValue("manifest-seen");
-  auto cloud_version = cloud_->LatestBlobVersion(ManifestBlobId());
-  uint64_t version = std::max<uint64_t>(
-      floor, cloud_version.ok() ? *cloud_version : 0) + 1;
-  while (tee_->CounterValue("manifest-seen") < version) {
-    tee_->IncrementCounter("manifest-seen");
   }
 
   BinaryWriter aad;
@@ -731,7 +912,22 @@ Status TrustedCell::SyncPush() {
   blob.PutString("tc.manifest.v1");
   blob.PutU64(version);
   blob.PutBytes(sealed);
-  TC_RETURN_IF_ERROR(PushBlob(ManifestBlobId(), version, blob.Take()));
+  return blob.Take();
+}
+
+Status TrustedCell::SyncPush() {
+  obs::TraceSpan span("cell", "sync_push", config_.cell_id);
+  // Manifest version: strictly above both our floor and whatever the
+  // cloud currently advertises (so concurrent cells don't collide).
+  uint64_t floor = tee_->CounterValue("manifest-seen");
+  auto cloud_version = cloud_->LatestBlobVersion(ManifestBlobId());
+  uint64_t version = std::max<uint64_t>(
+      floor, cloud_version.ok() ? *cloud_version : 0) + 1;
+  while (tee_->CounterValue("manifest-seen") < version) {
+    tee_->IncrementCounter("manifest-seen");
+  }
+  TC_ASSIGN_OR_RETURN(Bytes blob, BuildManifestBlob(version, nullptr));
+  TC_RETURN_IF_ERROR(PushBlob(ManifestBlobId(), version, blob));
   ++stats_.sync_pushes;
   return Status::OK();
 }

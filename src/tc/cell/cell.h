@@ -101,6 +101,9 @@ struct CellStats {
   uint64_t sync_pulls = 0;
   uint64_t pushes_deferred = 0;   ///< Cloud pushes queued to the outbox.
   uint64_t catchup_drained = 0;   ///< Outbox records drained by CatchUp.
+  uint64_t atomic_updates = 0;        ///< UpdateDocumentAtomic completions.
+  uint64_t atomic_update_aborts = 0;  ///< FCW aborts retried (same token).
+  uint64_t txns_deferred = 0;     ///< Whole transactions queued to the outbox.
 };
 
 /// A trusted cell: the paper's "personal data server running on secure
@@ -195,6 +198,20 @@ class TrustedCell {
   /// Replaces the payload (version bump; old cloud versions become
   /// rollback bait the cell must detect).
   Status UpdateDocument(const std::string& doc_id, const Bytes& content);
+
+  /// Atomic policy+data+manifest update — the sharing-scenario primitive
+  /// the paper needs: the sealed payload (optionally re-bound to
+  /// `new_policy`) and the refreshed manifest reach the provider in ONE
+  /// multi-key transaction, so no sibling cell can ever observe new data
+  /// under an old manifest or vice versa. First-committer-wins aborts
+  /// (a sibling moved the manifest or the document first) are transient:
+  /// the cell refreshes its snapshot and retries under the SAME txn token
+  /// (bounded; the final abort is returned if contention never clears).
+  /// With resilient_sync, an unreachable provider (or an unresolved
+  /// commit) journals the whole transaction to the outbox — it drains
+  /// atomically in CatchUp under its original token.
+  Status UpdateDocumentAtomic(const std::string& doc_id, const Bytes& content,
+                              const policy::Policy* new_policy = nullptr);
 
   /// Owner read of an own document, policy-checked with the owner as
   /// subject ("the trusted cell owner ... only gets data according to her
@@ -389,6 +406,12 @@ class TrustedCell {
   Status EnsureDocKey(const std::string& doc_id, const std::string& key_name);
   Result<DocumentMeta> LoadMeta(const std::string& doc_id);
   Status SaveMeta(const DocumentMeta& meta, bool is_new);
+  /// Serializes + seals the manifest of own documents at `version`,
+  /// substituting `override_meta` (when non-null) for its document —
+  /// lets the atomic update publish a manifest that includes a meta not
+  /// yet saved locally.
+  Result<Bytes> BuildManifestBlob(uint64_t version,
+                                  const DocumentMeta* override_meta);
   void RecordIncident(IncidentType type, const std::string& object_id,
                       const std::string& detail);
   Result<Bytes> FetchAndOpen(const DocumentMeta& meta);

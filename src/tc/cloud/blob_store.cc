@@ -4,7 +4,8 @@
 
 namespace tc::cloud {
 
-BlobStore::BlobStore(size_t shard_count) {
+BlobStore::BlobStore(size_t shard_count, size_t token_history)
+    : token_history_(token_history == 0 ? 1 : token_history) {
   if (shard_count == 0) shard_count = 1;
   shards_.reserve(shard_count);
   for (size_t i = 0; i < shard_count; ++i) {
@@ -25,19 +26,50 @@ std::unique_lock<std::mutex> BlobStore::LockShard(const Shard& shard) const {
   return lock;
 }
 
+void BlobStore::PublishSeqs(const uint64_t* seqs, size_t n) {
+  if (n == 0) return;
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  for (size_t i = 0; i < n; ++i) committed_above_.insert(seqs[i]);
+  auto it = committed_above_.begin();
+  while (it != committed_above_.end() && *it == base_committed_ + 1) {
+    ++base_committed_;
+    it = committed_above_.erase(it);
+  }
+}
+
+uint64_t BlobStore::LatestVersionLocked(const std::string& id) const {
+  const Shard& shard = *shards_[ShardIndex(id)];
+  auto it = shard.blobs.find(id);
+  if (it == shard.blobs.end()) return 0;
+  return it->second.size();
+}
+
 uint64_t BlobStore::Put(const std::string& id, const Bytes& data) {
   Shard& shard = *shards_[ShardIndex(id)];
-  auto lock = LockShard(shard);
-  std::vector<Bytes>& versions = shard.blobs[id];
-  versions.push_back(data);
-  shard.total_bytes += data.size();
-  versions_created_.fetch_add(1, std::memory_order_relaxed);
-  return versions.size();
+  uint64_t seq = 0;
+  uint64_t version = 0;
+  {
+    auto lock = LockShard(shard);
+    seq = next_commit_seq_.fetch_add(1, std::memory_order_relaxed);
+    std::vector<VersionRec>& versions = shard.blobs[id];
+    versions.push_back(VersionRec{data, seq});
+    shard.total_bytes += data.size();
+    shard.high_seq.store(seq, std::memory_order_release);
+    versions_created_.fetch_add(1, std::memory_order_relaxed);
+    version = versions.size();
+    // Published under the stripe for the same starvation bound CommitTxn
+    // documents: once this Put is observable as "latest", it is also in
+    // every fresh snapshot.
+    PublishSeqs(&seq, 1);
+  }
+  return version;
 }
 
 std::vector<uint64_t> BlobStore::PutBatch(
     const std::vector<std::pair<std::string, Bytes>>& items) {
   std::vector<uint64_t> versions(items.size(), 0);
+  std::vector<uint64_t> seqs;
+  seqs.reserve(items.size());
   // Group item indexes by shard so each shard lock is taken at most once.
   std::vector<std::vector<size_t>> by_shard(shards_.size());
   for (size_t i = 0; i < items.size(); ++i) {
@@ -48,12 +80,20 @@ std::vector<uint64_t> BlobStore::PutBatch(
     Shard& shard = *shards_[s];
     auto lock = LockShard(shard);
     for (size_t i : by_shard[s]) {
-      std::vector<Bytes>& blob_versions = shard.blobs[items[i].first];
-      blob_versions.push_back(items[i].second);
+      uint64_t seq = next_commit_seq_.fetch_add(1, std::memory_order_relaxed);
+      std::vector<VersionRec>& blob_versions = shard.blobs[items[i].first];
+      blob_versions.push_back(VersionRec{items[i].second, seq});
       shard.total_bytes += items[i].second.size();
+      shard.high_seq.store(seq, std::memory_order_release);
       versions[i] = blob_versions.size();
       versions_created_.fetch_add(1, std::memory_order_relaxed);
+      seqs.push_back(seq);
     }
+    // Each item is an independent auto-commit, fully applied by now:
+    // publish the shard's slice before its stripe is released (see
+    // CommitTxn for why latest-visible must imply snapshot-visible).
+    PublishSeqs(seqs.data(), seqs.size());
+    seqs.clear();
   }
   return versions;
 }
@@ -62,6 +102,7 @@ std::vector<uint64_t> BlobStore::PutBatchIdempotent(
     const std::vector<std::pair<std::string, Bytes>>& items,
     const std::vector<std::string>& tokens) {
   std::vector<uint64_t> versions(items.size(), 0);
+  std::vector<uint64_t> seqs;
   std::vector<std::vector<size_t>> by_shard(shards_.size());
   for (size_t i = 0; i < items.size(); ++i) {
     by_shard[ShardIndex(items[i].first)].push_back(i);
@@ -80,21 +121,177 @@ std::vector<uint64_t> BlobStore::PutBatchIdempotent(
         token_dedupe_hits_.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
-      std::vector<Bytes>& blob_versions = shard.blobs[items[i].first];
-      blob_versions.push_back(items[i].second);
+      uint64_t seq = next_commit_seq_.fetch_add(1, std::memory_order_relaxed);
+      std::vector<VersionRec>& blob_versions = shard.blobs[items[i].first];
+      blob_versions.push_back(VersionRec{items[i].second, seq});
       shard.total_bytes += items[i].second.size();
+      shard.high_seq.store(seq, std::memory_order_release);
       versions[i] = blob_versions.size();
       versions_created_.fetch_add(1, std::memory_order_relaxed);
       tokens_applied_.fetch_add(1, std::memory_order_relaxed);
+      seqs.push_back(seq);
       auto inserted = shard.applied_tokens.emplace(token, versions[i]);
       shard.token_fifo.push_back(&inserted.first->first);
-      if (shard.token_fifo.size() > kTokenHistory) {
+      if (shard.token_fifo.size() > token_history_) {
         shard.applied_tokens.erase(*shard.token_fifo.front());
         shard.token_fifo.pop_front();
       }
     }
+    // Same per-shard publish-under-stripe discipline as PutBatch.
+    PublishSeqs(seqs.data(), seqs.size());
+    seqs.clear();
   }
   return versions;
+}
+
+SnapshotDescriptor BlobStore::Snapshot() const {
+  SnapshotDescriptor snap;
+  {
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    snap.base_seq = base_committed_;
+    snap.extra_seqs.assign(committed_above_.begin(), committed_above_.end());
+  }
+  snap.shard_high.reserve(shards_.size());
+  for (const auto& shard_ptr : shards_) {
+    snap.shard_high.push_back(
+        shard_ptr->high_seq.load(std::memory_order_acquire));
+  }
+  return snap;
+}
+
+Result<SnapshotRead> BlobStore::GetAtSnapshot(
+    const std::string& id, const SnapshotDescriptor& snap) const {
+  const Shard& shard = *shards_[ShardIndex(id)];
+  auto lock = LockShard(shard);
+  auto it = shard.blobs.find(id);
+  if (it != shard.blobs.end()) {
+    const std::vector<VersionRec>& versions = it->second;
+    for (size_t i = versions.size(); i > 0; --i) {
+      const VersionRec& rec = versions[i - 1];
+      if (snap.Visible(rec.commit_seq)) {
+        SnapshotRead read;
+        read.data = rec.data;
+        read.version = i;
+        read.commit_seq = rec.commit_seq;
+        return read;
+      }
+    }
+  }
+  return Status::NotFound("no version of " + id + " visible in snapshot");
+}
+
+TxnOutcome BlobStore::CommitTxn(const TxnRequest& req) {
+  TxnOutcome out;
+  if (req.token.empty()) {
+    out.status = Status::InvalidArgument("txn token must not be empty");
+    return out;
+  }
+  if (req.writes.empty()) {
+    out.status = Status::InvalidArgument("txn has no writes");
+    return out;
+  }
+  for (size_t i = 0; i < req.writes.size(); ++i) {
+    for (size_t j = i + 1; j < req.writes.size(); ++j) {
+      if (req.writes[i].id == req.writes[j].id) {
+        out.status =
+            Status::InvalidArgument("duplicate write key: " + req.writes[i].id);
+        return out;
+      }
+    }
+  }
+
+  // Lock manager, striped like the shards: acquire every involved stripe
+  // in ascending index order and hold across validation + apply (two-phase
+  // across shards, deadlock-free by the global order).
+  std::vector<size_t> stripes;
+  stripes.reserve(req.reads.size() + req.writes.size());
+  for (const TxnRead& r : req.reads) stripes.push_back(ShardIndex(r.id));
+  for (const TxnWrite& w : req.writes) stripes.push_back(ShardIndex(w.id));
+  std::sort(stripes.begin(), stripes.end());
+  stripes.erase(std::unique(stripes.begin(), stripes.end()), stripes.end());
+  std::vector<std::unique_lock<std::mutex>> held;
+  held.reserve(stripes.size());
+  for (size_t s : stripes) held.push_back(LockShard(*shards_[s]));
+
+  // Re-delivered commit? Answer with the original outcome. Checked under
+  // the stripe locks: duplicates of one token involve the same stripes,
+  // so the first delivery's record is visible to the second.
+  {
+    std::lock_guard<std::mutex> tlock(txn_token_mu_);
+    auto hit = txn_tokens_.find(req.token);
+    if (hit != txn_tokens_.end()) {
+      out.committed = true;
+      out.replayed = true;
+      out.commit_seq = hit->second.commit_seq;
+      out.versions = hit->second.versions;
+      txn_replays_.fetch_add(1, std::memory_order_relaxed);
+      return out;
+    }
+  }
+
+  // First-committer-wins validation: all versions in the store are
+  // committed, so "still current" is exact version-number equality.
+  for (const TxnRead& r : req.reads) {
+    if (LatestVersionLocked(r.id) != r.version) {
+      out.status = Status::Aborted("read of " + r.id + " no longer current");
+      out.conflict_id = r.id;
+      txns_aborted_.fetch_add(1, std::memory_order_relaxed);
+      return out;
+    }
+  }
+  for (const TxnWrite& w : req.writes) {
+    if (w.base_version != kBaseVersionAny &&
+        LatestVersionLocked(w.id) != w.base_version) {
+      out.status =
+          Status::Aborted("write base of " + w.id + " no longer current");
+      out.conflict_id = w.id;
+      txns_aborted_.fetch_add(1, std::memory_order_relaxed);
+      return out;
+    }
+  }
+
+  // Apply: one commit sequence for the whole write set.
+  uint64_t seq = next_commit_seq_.fetch_add(1, std::memory_order_relaxed);
+  out.versions.reserve(req.writes.size());
+  for (const TxnWrite& w : req.writes) {
+    Shard& shard = *shards_[ShardIndex(w.id)];
+    std::vector<VersionRec>& versions = shard.blobs[w.id];
+    versions.push_back(VersionRec{w.data, seq});
+    shard.total_bytes += w.data.size();
+    shard.high_seq.store(seq, std::memory_order_release);
+    out.versions.push_back(versions.size());
+    versions_created_.fetch_add(1, std::memory_order_relaxed);
+    txn_writes_applied_.fetch_add(1, std::memory_order_relaxed);
+  }
+  out.committed = true;
+  out.commit_seq = seq;
+  txns_committed_.fetch_add(1, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> tlock(txn_token_mu_);
+    auto inserted =
+        txn_tokens_.emplace(req.token, TxnTokenRec{seq, out.versions});
+    txn_token_fifo_.push_back(&inserted.first->first);
+    if (txn_token_fifo_.size() > token_history_) {
+      txn_tokens_.erase(*txn_token_fifo_.front());
+      txn_token_fifo_.pop_front();
+    }
+  }
+
+  // Publish BEFORE releasing the stripes. The writes are already fully
+  // applied, so the no-torn-commit invariant holds; what the ordering buys
+  // is a starvation bound. Published after release, a preempted committer
+  // leaves a window where its writes are "latest" (so every conflicting
+  // first-committer-wins validation aborts) but absent from fresh
+  // snapshots (so every retry re-reads the stale version) — one stalled
+  // thread turns its competitors into a deterministic abort loop for a
+  // whole scheduling quantum. Published under the stripes, any snapshot a
+  // competitor can act on (its reads serialize behind these locks)
+  // already contains this commit, so each commit costs each competitor at
+  // most O(1) aborts.
+  PublishSeqs(&seq, 1);
+  held.clear();
+  return out;
 }
 
 Result<Bytes> BlobStore::Get(const std::string& id) const {
@@ -104,7 +301,7 @@ Result<Bytes> BlobStore::Get(const std::string& id) const {
   if (it == shard.blobs.end() || it->second.empty()) {
     return Status::NotFound("no such blob: " + id);
   }
-  return it->second.back();
+  return it->second.back().data;
 }
 
 Result<Bytes> BlobStore::GetVersion(const std::string& id,
@@ -115,7 +312,7 @@ Result<Bytes> BlobStore::GetVersion(const std::string& id,
   if (it == shard.blobs.end() || version == 0 || version > it->second.size()) {
     return Status::NotFound("no such blob version");
   }
-  return it->second[version - 1];
+  return it->second[version - 1].data;
 }
 
 Result<uint64_t> BlobStore::LatestVersion(const std::string& id) const {
@@ -139,7 +336,7 @@ Status BlobStore::Delete(const std::string& id) {
   auto lock = LockShard(shard);
   auto it = shard.blobs.find(id);
   if (it == shard.blobs.end()) return Status::NotFound("no such blob: " + id);
-  for (const Bytes& v : it->second) shard.total_bytes -= v.size();
+  for (const VersionRec& v : it->second) shard.total_bytes -= v.data.size();
   shard.blobs.erase(it);
   return Status::OK();
 }
@@ -185,7 +382,7 @@ Status BlobStore::MutateLatest(const std::string& id,
   if (it == shard.blobs.end() || it->second.empty()) {
     return Status::NotFound("no such blob: " + id);
   }
-  Bytes& latest = it->second.back();
+  Bytes& latest = it->second.back().data;
   const size_t before = latest.size();
   mutator(latest);
   shard.total_bytes += latest.size();

@@ -8,6 +8,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -15,6 +16,7 @@
 
 #include "tc/common/bytes.h"
 #include "tc/common/result.h"
+#include "tc/cloud/txn.h"
 
 namespace tc::cloud {
 
@@ -29,11 +31,28 @@ namespace tc::cloud {
 /// provider serving millions of cells: operations on different shards never
 /// contend, and all public methods are safe to call from multiple threads.
 /// Per-shard byte/blob accounting is merged on read.
+///
+/// MVCC: every version carries the sequence number of the commit that
+/// created it (plain puts are single-write auto-commits). Snapshot() hands
+/// out a SnapshotDescriptor; GetAtSnapshot() reads the newest version
+/// whose commit is visible in a descriptor; CommitTxn() applies a
+/// validated multi-key read/write set atomically — first-committer-wins
+/// under a lock manager striped exactly like the shards (the involved
+/// stripes are acquired in ascending index order, held across validation
+/// and apply: two-phase, deadlock-free). A commit's sequence is published
+/// to the snapshot horizon after all its writes are applied but BEFORE
+/// the stripes are released, so cross-shard commits are never seen torn
+/// AND anything observable as "latest" is already snapshot-visible — the
+/// pairing that bounds first-committer-wins abort loops (a write that is
+/// latest but not yet in fresh snapshots would make every conflicting
+/// retry abort deterministically for as long as the committer is stalled).
 class BlobStore {
  public:
   static constexpr size_t kDefaultShards = 16;
+  static constexpr size_t kTokenHistory = 8192;  // Per shard / per store.
 
-  explicit BlobStore(size_t shard_count = kDefaultShards);
+  explicit BlobStore(size_t shard_count = kDefaultShards,
+                     size_t token_history = kTokenHistory);
 
   /// Stores a new version of `id`; returns the version number (1-based).
   uint64_t Put(const std::string& id, const Bytes& data);
@@ -51,15 +70,50 @@ class BlobStore {
   /// and network-level duplicates side-effect-free: the same logical write
   /// can reach the provider 0–N times and creates at most one version.
   /// Tokens live in per-shard tables (same striping as the blobs, same
-  /// lock), bounded FIFO at kTokenHistory entries per shard — ample for
-  /// retry windows, which are short by construction.
+  /// lock), bounded FIFO at `token_history` entries per shard — ample for
+  /// retry windows, which are short by construction. A re-delivery that
+  /// arrives AFTER its token was evicted is applied again as a fresh
+  /// write: the documented bound is that it appends a duplicate version
+  /// with identical bytes (the convergence audit — latest payload per
+  /// blob — is unaffected), it never resurrects an older payload over a
+  /// newer acked one within the token window.
   std::vector<uint64_t> PutBatchIdempotent(
       const std::vector<std::pair<std::string, Bytes>>& items,
       const std::vector<std::string>& tokens);
 
+  // ---- Provider transactions (MVCC) ----
+
+  /// Consistent snapshot horizon: all commits visible at this instant.
+  SnapshotDescriptor Snapshot() const;
+
+  /// Newest version of `id` whose commit is visible in `snap`; kNotFound
+  /// if the blob has no visible version (absent, or created after the
+  /// snapshot was taken).
+  Result<SnapshotRead> GetAtSnapshot(const std::string& id,
+                                     const SnapshotDescriptor& snap) const;
+
+  /// Atomically validates and applies a multi-key transaction.
+  ///
+  /// Validation (first-committer-wins): every read must still observe the
+  /// latest version it saw; every write's `base_version` must still be the
+  /// latest version of its key (kBaseVersionAny skips the check). The
+  /// first key that fails aborts the whole transaction with kAborted and
+  /// no effect. On success all writes are applied under one commit
+  /// sequence and each lands at exactly `base_version + 1`.
+  ///
+  /// Idempotency: the PR 5 token table, extended to whole transactions. A
+  /// committed token's outcome (commit seq + assigned versions) is
+  /// recorded in a store-level FIFO-bounded table; a re-delivered commit
+  /// is answered with its original outcome (`replayed` set) without
+  /// re-applying. Aborts are deliberately NOT recorded — an abort has no
+  /// side effects, and the cell retries aborted transactions under the
+  /// SAME token with a refreshed snapshot, which must be allowed to
+  /// commit.
+  TxnOutcome CommitTxn(const TxnRequest& req);
+
   /// Logical writes newly applied through PutBatchIdempotent (dedupe hits
-  /// excluded). `versions created == tokens_applied` is the chaos suite's
-  /// "no duplicate side-effects" invariant.
+  /// excluded). `versions_created == tokens_applied + txn_writes_applied`
+  /// is the chaos suite's "no duplicate side-effects" invariant.
   uint64_t tokens_applied() const {
     return tokens_applied_.load(std::memory_order_relaxed);
   }
@@ -74,6 +128,22 @@ class BlobStore {
     return versions_created_.load(std::memory_order_relaxed);
   }
 
+  uint64_t txns_committed() const {
+    return txns_committed_.load(std::memory_order_relaxed);
+  }
+  uint64_t txns_aborted() const {
+    return txns_aborted_.load(std::memory_order_relaxed);
+  }
+  /// Re-delivered commits answered from the txn-token table.
+  uint64_t txn_replays() const {
+    return txn_replays_.load(std::memory_order_relaxed);
+  }
+  /// Versions created by committed transactions (subset of
+  /// versions_created).
+  uint64_t txn_writes_applied() const {
+    return txn_writes_applied_.load(std::memory_order_relaxed);
+  }
+
   /// Latest version payload.
   Result<Bytes> Get(const std::string& id) const;
 
@@ -86,7 +156,8 @@ class BlobStore {
   bool Exists(const std::string& id) const;
 
   /// Removes a blob and all of its versions; every version's bytes are
-  /// subtracted from the shard's byte accounting.
+  /// subtracted from the shard's byte accounting. Legacy administrative
+  /// op, not MVCC-aware: snapshot readers see the blob vanish.
   Status Delete(const std::string& id);
 
   /// Ids with the given prefix (listing is metadata the provider sees —
@@ -117,13 +188,23 @@ class BlobStore {
   uint64_t lock_contention() const;
 
  private:
-  static constexpr size_t kTokenHistory = 8192;  // Per shard.
+  /// One stored version: payload + the commit that created it. Version
+  /// numbers stay positional (index + 1), and because every append happens
+  /// under the shard stripe with a freshly drawn sequence, commit_seq is
+  /// strictly increasing along each blob's version vector.
+  struct VersionRec {
+    Bytes data;
+    uint64_t commit_seq = 0;
+  };
 
   struct Shard {
     mutable std::mutex mu;
     mutable std::atomic<uint64_t> contention{0};
-    std::map<std::string, std::vector<Bytes>> blobs;  // id -> versions.
-    uint64_t total_bytes = 0;                         // guarded by mu.
+    std::map<std::string, std::vector<VersionRec>> blobs;  // id -> versions.
+    uint64_t total_bytes = 0;  // guarded by mu.
+    /// Highest commit_seq applied to this shard. Written only under mu;
+    /// atomic so Snapshot() can read it without taking the stripe.
+    std::atomic<uint64_t> high_seq{0};
     // Idempotency-token table: token -> assigned version, FIFO-bounded.
     // The FIFO holds pointers to the map's keys (stable until erase), so a
     // token is stored exactly once.
@@ -131,13 +212,50 @@ class BlobStore {
     std::deque<const std::string*> token_fifo;                 // guarded by mu.
   };
 
+  /// Recorded outcome of a committed transaction, replayed on token
+  /// re-delivery.
+  struct TxnTokenRec {
+    uint64_t commit_seq = 0;
+    std::vector<uint64_t> versions;
+  };
+
   /// Locks `shard.mu`, counting the acquisition as contended if it blocks.
   std::unique_lock<std::mutex> LockShard(const Shard& shard) const;
 
+  /// Makes `seqs` visible to future Snapshot() calls. Must be called
+  /// exactly once for every sequence drawn from next_commit_seq_ (the
+  /// contiguous base can only advance if no sequence is abandoned), after
+  /// the corresponding writes are fully applied and while the stripe
+  /// locks are still held (latest-visible must imply snapshot-visible).
+  void PublishSeqs(const uint64_t* seqs, size_t n);
+
+  /// Latest version number of `id` (0 = absent). Caller holds the stripe.
+  uint64_t LatestVersionLocked(const std::string& id) const;
+
   std::vector<std::unique_ptr<Shard>> shards_;
+  const size_t token_history_;
   std::atomic<uint64_t> tokens_applied_{0};
   std::atomic<uint64_t> token_dedupe_hits_{0};
   std::atomic<uint64_t> versions_created_{0};
+  std::atomic<uint64_t> txns_committed_{0};
+  std::atomic<uint64_t> txns_aborted_{0};
+  std::atomic<uint64_t> txn_replays_{0};
+  std::atomic<uint64_t> txn_writes_applied_{0};
+
+  /// Commit-sequence allocator + published horizon. A drawn sequence is
+  /// "in flight" until PublishSeqs; Snapshot() sees base_committed_ (all
+  /// seqs <= it are committed) plus the out-of-order set above it.
+  std::atomic<uint64_t> next_commit_seq_{1};
+  mutable std::mutex commit_mu_;
+  uint64_t base_committed_ = 0;           // guarded by commit_mu_.
+  std::set<uint64_t> committed_above_;    // guarded by commit_mu_.
+
+  /// Store-level txn-token table (a txn spans shards, so it cannot live in
+  /// one stripe). Leaf lock: taken only while stripe locks are held or by
+  /// itself, never the other way round.
+  mutable std::mutex txn_token_mu_;
+  std::unordered_map<std::string, TxnTokenRec> txn_tokens_;
+  std::deque<const std::string*> txn_token_fifo_;
 };
 
 }  // namespace tc::cloud

@@ -27,6 +27,8 @@ const char* NetOpName(NetOp op) {
       return "send";
     case NetOp::kReceive:
       return "receive";
+    case NetOp::kTxnCommit:
+      return "txn_commit";
   }
   return "?";
 }

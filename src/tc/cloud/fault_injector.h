@@ -21,6 +21,7 @@ enum class NetOp : uint8_t {
   kGet = 2,
   kSend = 3,
   kReceive = 4,
+  kTxnCommit = 5,
 };
 
 const char* NetOpName(NetOp op);

@@ -28,6 +28,7 @@ CloudInfrastructure::Metrics::Metrics()
       send_us(obs::MetricRegistry::Global().GetHistogram("cloud.send_us")),
       receive_us(
           obs::MetricRegistry::Global().GetHistogram("cloud.receive_us")),
+      txn_us(obs::MetricRegistry::Global().GetHistogram("cloud.txn_us")),
       reads_tampered(obs::MetricRegistry::Global().GetCounter(
           "cloud.adversary.reads_tampered")),
       reads_rolled_back(obs::MetricRegistry::Global().GetCounter(
@@ -39,6 +40,11 @@ CloudInfrastructure::Metrics::Metrics()
       net_faults(obs::MetricRegistry::Global().GetCounter("cloud.net.faults")),
       net_outages(
           obs::MetricRegistry::Global().GetCounter("cloud.net.outages")),
+      txn_commits(
+          obs::MetricRegistry::Global().GetCounter("cloud.txn.commits")),
+      txn_aborts(obs::MetricRegistry::Global().GetCounter("cloud.txn.aborts")),
+      txn_replays(
+          obs::MetricRegistry::Global().GetCounter("cloud.txn.replays")),
       blob_lock_contention(obs::MetricRegistry::Global().GetGauge(
           "cloud.blob_lock_contention")),
       queue_lock_contention(obs::MetricRegistry::Global().GetGauge(
@@ -247,6 +253,127 @@ Result<Bytes> CloudInfrastructure::GetBlobRpc(const std::string& id,
   return GetBlob(id);
 }
 
+SnapshotDescriptor CloudInfrastructure::GetSnapshot() const {
+  return blobs_.Snapshot();
+}
+
+Result<SnapshotRead> CloudInfrastructure::GetBlobAtSnapshot(
+    const std::string& id, const SnapshotDescriptor& snap) {
+  obs::ScopedTimer timer(&metrics_.get_us);
+  ChargeLatency();
+  stats_.blob_gets.fetch_add(1, std::memory_order_relaxed);
+  TC_ASSIGN_OR_RETURN(SnapshotRead read, blobs_.GetAtSnapshot(id, snap));
+  stats_.bytes_out.fetch_add(read.data.size(), std::memory_order_relaxed);
+  return read;
+}
+
+TxnOutcome CloudInfrastructure::CommitTxn(const TxnRequest& req) {
+  obs::TraceSpan span(obs::kChildOnly, "cloud", "txn_commit", req.token,
+                      &metrics_.txn_us);
+  ChargeLatency();
+  TxnOutcome outcome = blobs_.CommitTxn(req);
+  if (outcome.committed && !outcome.replayed) {
+    uint64_t bytes = 0;
+    for (const TxnWrite& w : req.writes) bytes += w.data.size();
+    stats_.blob_puts.fetch_add(req.writes.size(), std::memory_order_relaxed);
+    stats_.bytes_in.fetch_add(bytes, std::memory_order_relaxed);
+    stats_.txn_commits.fetch_add(1, std::memory_order_relaxed);
+    metrics_.txn_commits.Increment();
+  } else if (outcome.replayed) {
+    metrics_.txn_replays.Increment();
+  } else if (outcome.status.IsAborted()) {
+    stats_.txn_aborts.fetch_add(1, std::memory_order_relaxed);
+    metrics_.txn_aborts.Increment();
+  }
+  return outcome;
+}
+
+TxnOutcome CloudInfrastructure::CommitTxnRpc(const TxnRequest& req) {
+  FaultDecision decision;
+  if (NetworkFaultInjector* injector = fault_injector()) {
+    decision = injector->Next(NetOp::kTxnCommit);
+    if (!decision.clean()) metrics_.net_faults.Increment();
+  }
+  TxnOutcome outcome;
+  outcome.delay_us = decision.delay_us;
+  outcome.fault_ordinal = decision.clean() ? 0 : decision.ordinal;
+
+  if (decision.outage || decision.throttled) {
+    metrics_.net_outages.Increment();
+    outcome.status = Status::Unavailable(
+        decision.outage ? "provider outage" : "provider throttled the txn");
+    return outcome;
+  }
+  // A transaction is atomic by construction: the "torn batch" fault class
+  // cannot partially apply it, so it degrades to a lost request.
+  if (decision.drop_request || decision.item_seed != 0) {
+    outcome.status = Status::Unavailable("txn lost before the provider");
+    return outcome;
+  }
+
+  TxnOutcome applied = CommitTxn(req);
+  if (decision.duplicate && applied.committed) {
+    // Network retransmission: the provider sees the commit again and the
+    // txn-token table answers the copy with the original outcome. An
+    // aborted first delivery leaves no token record and no state change,
+    // so re-running its copy would abort identically — skip it.
+    CommitTxn(req);
+  }
+  applied.delay_us = outcome.delay_us;
+  applied.fault_ordinal = outcome.fault_ordinal;
+
+  if (decision.drop_ack) {
+    // Applied (committed or aborted), but the caller never learns which.
+    // The retry under the same token is answered from the token table if
+    // it committed, and re-validated if it aborted.
+    TxnOutcome lost;
+    lost.delay_us = outcome.delay_us;
+    lost.fault_ordinal = outcome.fault_ordinal;
+    lost.status = Status::Unavailable("txn ack lost");
+    return lost;
+  }
+  return applied;
+}
+
+Result<SnapshotDescriptor> CloudInfrastructure::GetSnapshotRpc(
+    uint32_t* delay_us) {
+  if (delay_us != nullptr) *delay_us = 0;
+  if (NetworkFaultInjector* injector = fault_injector()) {
+    FaultDecision decision = injector->Next(NetOp::kGet);
+    if (!decision.clean()) metrics_.net_faults.Increment();
+    if (delay_us != nullptr) *delay_us = decision.delay_us;
+    if (decision.outage || decision.throttled) {
+      metrics_.net_outages.Increment();
+      return Status::Unavailable(decision.outage ? "provider outage"
+                                                 : "provider throttled");
+    }
+    if (decision.drop_request || decision.drop_ack) {
+      return Status::Unavailable("snapshot request lost in flight");
+    }
+  }
+  return blobs_.Snapshot();
+}
+
+Result<SnapshotRead> CloudInfrastructure::GetBlobAtSnapshotRpc(
+    const std::string& id, const SnapshotDescriptor& snap,
+    uint32_t* delay_us) {
+  if (delay_us != nullptr) *delay_us = 0;
+  if (NetworkFaultInjector* injector = fault_injector()) {
+    FaultDecision decision = injector->Next(NetOp::kGet);
+    if (!decision.clean()) metrics_.net_faults.Increment();
+    if (delay_us != nullptr) *delay_us = decision.delay_us;
+    if (decision.outage || decision.throttled) {
+      metrics_.net_outages.Increment();
+      return Status::Unavailable(decision.outage ? "provider outage"
+                                                 : "provider throttled");
+    }
+    if (decision.drop_request || decision.drop_ack) {
+      return Status::Unavailable("snapshot get lost in flight: " + id);
+    }
+  }
+  return GetBlobAtSnapshot(id, snap);
+}
+
 Result<Bytes> CloudInfrastructure::GetBlob(const std::string& id) {
   obs::TraceSpan span(obs::kChildOnly, "cloud", "get", id, &metrics_.get_us);
   ChargeLatency();
@@ -405,6 +532,8 @@ CloudStats CloudInfrastructure::stats() const {
       stats_.messages_delivered.load(std::memory_order_relaxed);
   out.bytes_in = stats_.bytes_in.load(std::memory_order_relaxed);
   out.bytes_out = stats_.bytes_out.load(std::memory_order_relaxed);
+  out.txn_commits = stats_.txn_commits.load(std::memory_order_relaxed);
+  out.txn_aborts = stats_.txn_aborts.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -60,6 +60,8 @@ struct CloudStats {
   uint64_t messages_delivered = 0;
   uint64_t bytes_in = 0;
   uint64_t bytes_out = 0;
+  uint64_t txn_commits = 0;
+  uint64_t txn_aborts = 0;
 };
 
 /// The untrusted infrastructure of the trusted-cells architecture:
@@ -144,6 +146,34 @@ class CloudInfrastructure {
   /// receives the injected delay to charge to the caller's virtual clock.
   Result<Bytes> GetBlobRpc(const std::string& id, uint32_t* delay_us = nullptr);
 
+  // ---- Provider transactions (MVCC) ----
+  // Multi-key atomic commit with snapshot-validated read/write sets; see
+  // BlobStore::CommitTxn for semantics. The Rpc variants consult the fault
+  // injector: a txn is atomic by construction, so a "torn batch" decision
+  // degrades to a lost request (no partial application is possible), a
+  // lost ack leaves the commit applied and the retry is answered from the
+  // txn-token table, and a network duplicate is delivered twice — the
+  // second copy replays the first's outcome when it committed, and
+  // re-validates (against the store state the first left untouched) when
+  // it aborted.
+
+  /// Snapshot of the committed horizon (direct provider call).
+  SnapshotDescriptor GetSnapshot() const;
+  /// Direct commit, no network between caller and provider.
+  TxnOutcome CommitTxn(const TxnRequest& req);
+  /// Newest version of `id` visible in `snap` (direct provider call).
+  Result<SnapshotRead> GetBlobAtSnapshot(const std::string& id,
+                                         const SnapshotDescriptor& snap);
+  /// Commit over the faulty network; outcome.delay_us carries the injected
+  /// delay to charge to the caller's virtual clock.
+  TxnOutcome CommitTxnRpc(const TxnRequest& req);
+  /// Snapshot acquisition over the faulty network (read-class faults).
+  Result<SnapshotDescriptor> GetSnapshotRpc(uint32_t* delay_us = nullptr);
+  /// Snapshot read over the faulty network (read-class faults).
+  Result<SnapshotRead> GetBlobAtSnapshotRpc(const std::string& id,
+                                            const SnapshotDescriptor& snap,
+                                            uint32_t* delay_us = nullptr);
+
   // ---- Blob storage ----
   uint64_t PutBlob(const std::string& id, const Bytes& data);
   /// Stores a batch of blobs in one round-trip; returns versions in input
@@ -191,6 +221,8 @@ class CloudInfrastructure {
     std::atomic<uint64_t> messages_delivered{0};
     std::atomic<uint64_t> bytes_in{0};
     std::atomic<uint64_t> bytes_out{0};
+    std::atomic<uint64_t> txn_commits{0};
+    std::atomic<uint64_t> txn_aborts{0};
   };
   struct AtomicAdversaryStats {
     std::atomic<uint64_t> reads_tampered{0};
@@ -224,12 +256,16 @@ class CloudInfrastructure {
     obs::Histogram& get_us;
     obs::Histogram& send_us;
     obs::Histogram& receive_us;
+    obs::Histogram& txn_us;
     obs::Counter& reads_tampered;
     obs::Counter& reads_rolled_back;
     obs::Counter& messages_dropped;
     obs::Counter& messages_replayed;
     obs::Counter& net_faults;   ///< Non-clean injector decisions applied.
     obs::Counter& net_outages;  ///< Attempts rejected by an outage window.
+    obs::Counter& txn_commits;
+    obs::Counter& txn_aborts;
+    obs::Counter& txn_replays;  ///< Commits answered from the token table.
     obs::Gauge& blob_lock_contention;
     obs::Gauge& queue_lock_contention;
   };

@@ -1,0 +1,126 @@
+#ifndef TC_CLOUD_TXN_H_
+#define TC_CLOUD_TXN_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tc/common/bytes.h"
+#include "tc/common/status.h"
+
+namespace tc::cloud {
+
+/// Sentinel base version for a TxnWrite: the write skips first-committer-
+/// wins validation and lands on top of whatever is latest (a "blind"
+/// write). Used by the outbox drain path: a cell that journaled a whole
+/// transaction while partitioned re-delivers it after reconnecting and
+/// deliberately wants last-writer-wins semantics — the same semantics the
+/// per-blob outbox path always had, but atomic across the write set.
+inline constexpr uint64_t kBaseVersionAny = ~uint64_t{0};
+
+/// TellStore-style snapshot descriptor. `base_seq` plus the sorted set of
+/// committed sequence numbers above it pin exactly which commits a
+/// snapshot read observes; a commit's sequence enters the descriptor only
+/// after ALL of its writes are applied, so a cross-shard transaction can
+/// never be seen torn, even when commits publish out of sequence order.
+/// `shard_high` carries the per-shard high-water commit sequence at
+/// capture time (the striping-aligned summary the provider shards
+/// exchange; diagnostics and staleness probes, not visibility).
+struct SnapshotDescriptor {
+  uint64_t base_seq = 0;
+  std::vector<uint64_t> extra_seqs;  ///< Sorted committed seqs > base_seq.
+  std::vector<uint64_t> shard_high;  ///< Per-shard high-water commit seq.
+
+  /// True iff a version committed at `commit_seq` is visible here.
+  bool Visible(uint64_t commit_seq) const {
+    if (commit_seq == 0) return false;
+    if (commit_seq <= base_seq) return true;
+    return std::binary_search(extra_seqs.begin(), extra_seqs.end(),
+                              commit_seq);
+  }
+  /// Highest sequence this snapshot can possibly observe.
+  uint64_t high_water() const {
+    return extra_seqs.empty() ? base_seq : extra_seqs.back();
+  }
+};
+
+/// One snapshot read result: the newest version of the blob whose commit
+/// is visible in the descriptor.
+struct SnapshotRead {
+  Bytes data;
+  uint64_t version = 0;     ///< 1-based version number.
+  uint64_t commit_seq = 0;  ///< Sequence of the commit that wrote it.
+};
+
+/// Read-set entry: the caller observed `version` as the latest version of
+/// `id` (0 = blob absent). Validation re-checks that this is STILL the
+/// latest at commit time.
+struct TxnRead {
+  std::string id;
+  uint64_t version = 0;
+};
+
+/// Write-set entry: append `data` as a new version of `id`, provided the
+/// current latest version still equals `base_version` (first-committer-
+/// wins; `kBaseVersionAny` skips the check).
+struct TxnWrite {
+  std::string id;
+  Bytes data;
+  uint64_t base_version = 0;
+};
+
+/// A whole multi-key transaction, delivered to the provider in one RPC.
+/// `token` names the logical transaction; re-deliveries of the same token
+/// are answered with the original outcome (commits only — an abort leaves
+/// nothing behind, so a retried token revalidates and may commit later,
+/// which is exactly what lets the cell retry an abort under the same
+/// token).
+struct TxnRequest {
+  std::string token;
+  SnapshotDescriptor snapshot;  ///< The snapshot the read set was taken at.
+  std::vector<TxnRead> reads;
+  std::vector<TxnWrite> writes;
+};
+
+/// Provider's answer to a CommitTxn.
+struct TxnOutcome {
+  Status status = Status::OK();
+  bool committed = false;
+  bool replayed = false;  ///< Answered from the txn-token table.
+  uint64_t commit_seq = 0;
+  /// Assigned version per write, in write-set order; valid iff committed.
+  std::vector<uint64_t> versions;
+  std::string conflict_id;  ///< First key that failed validation (abort).
+  uint32_t delay_us = 0;    ///< Injected network delay (RPC layer only).
+  uint64_t fault_ordinal = 0;  ///< Injector ordinal (RPC layer, 0 = clean).
+};
+
+/// Observer of transaction lifecycle events, implemented by
+/// tc::testing::HistoryChecker. Lives here (not in tc::testing) so the
+/// fleet can carry a sink pointer without linking the testing library.
+/// Implementations must be thread-safe: fleet cells call concurrently.
+class TxnHistorySink {
+ public:
+  virtual ~TxnHistorySink() = default;
+  /// A transaction attempt started under `snapshot`. `txn_id` names the
+  /// attempt (not the token): an abort-and-rebuild is a new attempt.
+  virtual void OnBegin(const std::string& txn_id,
+                       const SnapshotDescriptor& snapshot) = 0;
+  /// The attempt observed `version` as the newest visible version of
+  /// `key` (0 = absent) under its snapshot.
+  virtual void OnRead(const std::string& txn_id, const std::string& key,
+                      uint64_t version) = 0;
+  /// The attempt committed at `commit_seq`; `writes` are (key, assigned
+  /// version) pairs.
+  virtual void OnCommit(
+      const std::string& txn_id, uint64_t commit_seq,
+      const std::vector<std::pair<std::string, uint64_t>>& writes) = 0;
+  /// The attempt aborted (first-committer-wins conflict). No effects.
+  virtual void OnAbort(const std::string& txn_id) = 0;
+};
+
+}  // namespace tc::cloud
+
+#endif  // TC_CLOUD_TXN_H_

@@ -38,6 +38,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "DataLoss";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kAborted:
+      return "Aborted";
   }
   return "Unknown";
 }

@@ -32,6 +32,7 @@ enum class StatusCode {
   kIOError = 14,
   kDataLoss = 15,
   kDeadlineExceeded = 16,
+  kAborted = 17,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "NotFound").
@@ -107,6 +108,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const {
@@ -133,6 +137,12 @@ class Status {
   bool IsDeadlineExceeded() const {
     return code() == StatusCode::kDeadlineExceeded;
   }
+  /// Optimistic-concurrency conflict: the transaction validated against a
+  /// state another committer changed first. Not transient for the retry
+  /// engine (re-sending the identical request would abort identically) —
+  /// the caller must refresh its snapshot and rebuild, keeping the same
+  /// txn token.
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
   /// True for the errors a retry/backoff engine may transparently retry:
   /// the provider (or the network leg to it) failed the attempt, but the
   /// operation itself is well-formed and may succeed later. Deliberately

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <thread>
 
+#include "tc/cloud/txn.h"
+#include "tc/common/codec.h"
 #include "tc/common/rng.h"
 #include "tc/obs/trace.h"
 
@@ -20,6 +23,24 @@ uint64_t MixSeed(uint64_t seed, uint64_t cell) {
 
 std::string CellId(size_t index) {
   return "fleet/cell" + std::to_string(index);
+}
+
+std::string SharedTxnKey(size_t k) {
+  return "txn/shared/" + std::to_string(k);
+}
+
+// Shared-key payloads are bare u64 counters: a committed read-modify-write
+// sets value = read_value + 1, so under first-committer-wins every key's
+// counter always equals its version number — the exactness audit.
+Bytes EncodeCounter(uint64_t value) {
+  BinaryWriter w;
+  w.PutU64(value);
+  return w.Take();
+}
+
+Result<uint64_t> DecodeCounter(const Bytes& data) {
+  BinaryReader r(data);
+  return r.GetU64();
 }
 
 FleetLatency ExtractLatency(const obs::HistogramSnapshot& after,
@@ -368,6 +389,198 @@ void FleetRunner::RunCellResilient(size_t cell_index, FleetCellResult* result) {
   result->breaker_opens = channel.stats().breaker_opens;
 }
 
+void FleetRunner::RunCellTxn(size_t cell_index, FleetCellResult* result) {
+  Rng rng(MixSeed(options_.seed ^ 0x74786e2d6d697865ULL, cell_index));
+  result->cell_id = CellId(cell_index);
+
+  net::ChannelOptions channel_options = options_.channel;
+  channel_options.seed = MixSeed(options_.seed ^ 0x6e65742d6a697474ULL,
+                                 cell_index);
+  std::optional<net::ResilientChannel> channel;
+  if (options_.resilient) {
+    channel.emplace(cloud_, result->cell_id, channel_options);
+  }
+  cloud::TxnHistorySink* history = options_.history;
+
+  // Builds one read-modify-write attempt from a fresh snapshot and reports
+  // it to the history sink. A transient failure leaves *req untouched and
+  // returns that status (the caller waits the breaker out and rebuilds).
+  auto build = [&](const std::vector<size_t>& keys, const std::string& token,
+                   const std::string& attempt_id,
+                   cloud::TxnRequest* req) -> Status {
+    cloud::SnapshotDescriptor snap;
+    if (channel) {
+      auto got = channel->GetSnapshot();
+      if (!got.ok()) return got.status();
+      snap = std::move(*got);
+    } else {
+      snap = cloud_->GetSnapshot();
+    }
+    req->token = token;
+    req->snapshot = std::move(snap);
+    req->reads.clear();
+    req->writes.clear();
+    for (size_t k : keys) {
+      std::string id = SharedTxnKey(k);
+      uint64_t version = 0;
+      uint64_t value = 0;
+      auto read = channel ? channel->GetAtSnapshot(id, req->snapshot)
+                          : cloud_->GetBlobAtSnapshot(id, req->snapshot);
+      if (read.ok()) {
+        version = read->version;
+        auto decoded = DecodeCounter(read->data);
+        if (!decoded.ok()) return decoded.status();
+        value = *decoded;
+      } else if (!read.status().IsNotFound()) {
+        return read.status();
+      }
+      req->reads.push_back({id, version});
+      req->writes.push_back({id, EncodeCounter(value + 1), version});
+    }
+    if (history != nullptr) {
+      history->OnBegin(attempt_id, req->snapshot);
+      for (const cloud::TxnRead& r : req->reads) {
+        history->OnRead(attempt_id, r.id, r.version);
+      }
+    }
+    return Status::OK();
+  };
+
+  enum class Fate { kCommitted, kAborted, kUnresolved, kFailed };
+  auto send = [&](const cloud::TxnRequest& req,
+                  const std::string& attempt_id) -> Fate {
+    cloud::TxnOutcome outcome =
+        channel ? channel->CommitTxn(req) : cloud_->CommitTxn(req);
+    if (outcome.committed) {
+      if (history != nullptr) {
+        std::vector<std::pair<std::string, uint64_t>> writes;
+        writes.reserve(req.writes.size());
+        for (size_t i = 0; i < req.writes.size(); ++i) {
+          writes.emplace_back(req.writes[i].id, outcome.versions[i]);
+        }
+        history->OnCommit(attempt_id, outcome.commit_seq, writes);
+      }
+      ++result->txns_committed;
+      return Fate::kCommitted;
+    }
+    if (outcome.status.IsAborted()) {
+      if (history != nullptr) history->OnAbort(attempt_id);
+      ++result->txn_aborts;
+      return Fate::kAborted;
+    }
+    if (outcome.status.IsTransient() ||
+        outcome.status.IsDeadlineExceeded()) {
+      return Fate::kUnresolved;  // Re-send the IDENTICAL request later.
+    }
+    result->status = outcome.status;
+    return Fate::kFailed;
+  };
+
+  auto wait_out_breaker = [&] {
+    if (channel && channel->degraded()) {
+      channel->AdvanceVirtualTime(channel_options.breaker.open_cooldown_us);
+    }
+  };
+
+  // One logical transaction's retry state. An abort rebuilds (fresh
+  // snapshot, next attempt id, SAME token); an unresolved answer re-sends
+  // the identical request; only a commit retires it.
+  struct TxnState {
+    std::vector<size_t> keys;
+    std::string token;
+    size_t round = 0;
+    size_t attempt = 0;
+    bool built = false;
+    cloud::TxnRequest req;
+    std::string attempt_id;
+  };
+  auto step = [&](TxnState& state) -> Fate {
+    wait_out_breaker();
+    if (!state.built) {
+      state.attempt_id = result->cell_id + "/t" +
+                         std::to_string(state.round) + "/a" +
+                         std::to_string(state.attempt);
+      Status built = build(state.keys, state.token, state.attempt_id,
+                           &state.req);
+      if (!built.ok()) {
+        if (built.IsTransient() || built.IsDeadlineExceeded()) {
+          return Fate::kUnresolved;  // Snapshot later, when reachable.
+        }
+        result->status = built;
+        return Fate::kFailed;
+      }
+      state.built = true;
+    }
+    Fate fate = send(state.req, state.attempt_id);
+    if (fate == Fate::kAborted) {
+      ++state.attempt;
+      state.built = false;
+    }
+    return fate;
+  };
+
+  // Transactions their round could not commit; the drain finishes them.
+  std::vector<TxnState> carried;
+
+  for (size_t round = 0; round < options_.rounds_per_cell; ++round) {
+    TxnState state;
+    state.round = round;
+    // ONE token per logical transaction, across every rebuild and resend.
+    state.token = result->cell_id + "/txn" + std::to_string(round);
+    while (state.keys.size() < options_.txn_keys) {
+      size_t k = rng.NextBelow(options_.txn_shared_docs);
+      if (std::find(state.keys.begin(), state.keys.end(), k) ==
+          state.keys.end()) {
+        state.keys.push_back(k);
+      }
+    }
+    std::sort(state.keys.begin(), state.keys.end());
+
+    bool committed = false;
+    for (size_t tries = 0; tries < options_.txn_retry_limit; ++tries) {
+      Fate fate = step(state);
+      if (fate == Fate::kFailed) return;
+      if (fate == Fate::kCommitted) {
+        committed = true;
+        break;
+      }
+      // kAborted: step already queued a rebuild. kUnresolved: resend.
+    }
+    if (!committed) {
+      carried.push_back(std::move(state));
+      ++result->deferred;
+    }
+  }
+
+  // --- Drain: every carried transaction runs to COMMIT. An identical
+  // resend is answered from the token table if its commit had applied; a
+  // definitive abort rebuilds and retries. Each abort implies some other
+  // transaction committed meanwhile (first-committer-wins), so this
+  // terminates — bounded hard by drain_attempts regardless. ---
+  size_t drain_tries = 0;
+  while (!carried.empty() && drain_tries < options_.drain_attempts) {
+    ++drain_tries;
+    TxnState& state = carried.back();
+    Fate fate = step(state);
+    if (fate == Fate::kFailed) return;
+    if (fate == Fate::kCommitted) {
+      ++result->drained;
+      carried.pop_back();
+    }
+  }
+  if (!carried.empty()) {
+    result->converged = false;
+    result->status = Status::Unavailable(
+        result->cell_id + ": " + std::to_string(carried.size()) +
+        " transactions never committed after the drain");
+    return;
+  }
+  if (channel) {
+    result->retries = channel->stats().retries;
+    result->breaker_opens = channel->stats().breaker_opens;
+  }
+}
+
 Result<FleetReport> FleetRunner::Run() {
   if (cloud_ == nullptr) {
     return Status::InvalidArgument("fleet: null cloud");
@@ -384,6 +597,18 @@ Result<FleetReport> FleetRunner::Run() {
     return Status::InvalidArgument(
         "fleet: outage_first_rounds must not exceed rounds_per_cell "
         "(the outage heals when the last cell passes them)");
+  }
+  if (options_.txn_workload) {
+    if (options_.txn_keys == 0 ||
+        options_.txn_keys > options_.txn_shared_docs) {
+      return Status::InvalidArgument(
+          "fleet: txn_keys must be in [1, txn_shared_docs]");
+    }
+    if (options_.outage_first_rounds > 0) {
+      return Status::InvalidArgument(
+          "fleet: the forced-outage phase drives the blob workload, not "
+          "the txn workload");
+    }
   }
   if (options_.outage_first_rounds > 0 &&
       (!options_.resilient || cloud_->fault_injector() == nullptr)) {
@@ -420,7 +645,9 @@ Result<FleetReport> FleetRunner::Run() {
   auto start = std::chrono::steady_clock::now();
   for (size_t i = 0; i < options_.cells; ++i) {
     bool accepted = pool.Submit([this, i, &report] {
-      if (options_.resilient) {
+      if (options_.txn_workload) {
+        RunCellTxn(i, &report.cells[i]);
+      } else if (options_.resilient) {
         RunCellResilient(i, &report.cells[i]);
       } else {
         RunCell(i, &report.cells[i]);
@@ -460,12 +687,49 @@ Result<FleetReport> FleetRunner::Run() {
     report.drained += cell.drained;
     report.gets_unavailable += cell.gets_unavailable;
     report.breaker_opens += cell.breaker_opens;
+    report.txns_committed += cell.txns_committed;
+    report.txn_aborts += cell.txn_aborts;
     if (cell.converged && cell.status.ok()) {
       ++report.cells_converged;
     } else {
       report.converged = false;
     }
   }
+  // Commit-exactness audit (ground truth, direct surface): every commit
+  // advanced each of its keys' counters by exactly 1 at exactly the next
+  // version, so per key counter == version, and summed over keys the
+  // version total equals commits * keys-per-txn. A duplicate application
+  // (token table failure) or a lost commit breaks one of the equalities.
+  if (options_.txn_workload && report.cells_failed == 0) {
+    uint64_t version_total = 0;
+    for (size_t k = 0; k < options_.txn_shared_docs; ++k) {
+      const std::string id = SharedTxnKey(k);
+      auto latest = cloud_->LatestBlobVersion(id);
+      if (!latest.ok()) continue;  // Never written: contributes 0.
+      version_total += *latest;
+      auto blob = cloud_->GetBlob(id);
+      auto counter = blob.ok() ? DecodeCounter(*blob)
+                               : Result<uint64_t>(blob.status());
+      if (!counter.ok() || *counter != *latest) {
+        report.converged = false;
+        return Status::IntegrityViolation(
+            "txn audit: " + id + " counter " +
+            (counter.ok() ? std::to_string(*counter) : "unreadable") +
+            " != version " + std::to_string(*latest));
+      }
+    }
+    const uint64_t expected = report.txns_committed * options_.txn_keys;
+    if (version_total != expected) {
+      report.converged = false;
+      return Status::IntegrityViolation(
+          "txn audit: " + std::to_string(version_total) +
+          " versions created across shared keys, but " +
+          std::to_string(report.txns_committed) + " commits x " +
+          std::to_string(options_.txn_keys) + " keys = " +
+          std::to_string(expected));
+    }
+  }
+
   const uint64_t healed_at = healed_at_us_.load(std::memory_order_acquire);
   if (healed_at != 0) {
     const uint64_t now_us = static_cast<uint64_t>(

@@ -52,6 +52,24 @@ struct FleetOptions {
   /// End-of-run drain: bounded attempts per cell to push its pending
   /// writes after the workload rounds.
   size_t drain_attempts = 200;
+
+  // ---- Transactional read-modify-write contention workload ----
+
+  /// Replaces the blob traffic: each round every cell commits ONE
+  /// multi-key transaction over a SHARED key space ("txn/shared/<k>"),
+  /// reading `txn_keys` counters under a snapshot and writing each +1 at
+  /// its read version. First-committer-wins aborts rebuild against a
+  /// fresh snapshot under the same token; transient losses re-send the
+  /// identical request until the provider answers (the token table makes
+  /// that exactly-once). Every key's final counter value must equal its
+  /// final version number — the commit-exactness audit Run() performs.
+  bool txn_workload = false;
+  size_t txn_shared_docs = 8;  ///< Shared keys all cells contend over.
+  size_t txn_keys = 2;         ///< Keys read+written per transaction.
+  size_t txn_retry_limit = 64; ///< Per-txn abort-rebuild / resend bound.
+  /// Optional history recorder (e.g. tc::testing::HistoryChecker): every
+  /// attempt's begin/reads/commit/abort is reported. Must be thread-safe.
+  cloud::TxnHistorySink* history = nullptr;
 };
 
 /// Outcome of one simulated cell (error propagation is per cell: one
@@ -69,6 +87,9 @@ struct FleetCellResult {
   uint64_t drained = 0;           ///< Pending writes acked by the drain.
   uint64_t gets_unavailable = 0;  ///< Reads answered kUnavailable.
   uint64_t breaker_opens = 0;
+  // Txn-workload outcome.
+  uint64_t txns_committed = 0;
+  uint64_t txn_aborts = 0;  ///< FCW aborts (each rebuilt and retried).
   /// Every write this cell got acked is the provider's latest state and
   /// nothing is left pending — the E14 zero-acked-write-loss invariant.
   bool converged = true;
@@ -111,6 +132,8 @@ struct FleetReport {
   uint64_t drained = 0;
   uint64_t gets_unavailable = 0;
   uint64_t breaker_opens = 0;
+  uint64_t txns_committed = 0;
+  uint64_t txn_aborts = 0;
   size_t cells_converged = 0;
   bool converged = true;               ///< Every cell converged.
   /// Seconds from the forced outage healing to the whole fleet done
@@ -137,6 +160,7 @@ class FleetRunner {
  private:
   void RunCell(size_t cell_index, FleetCellResult* result);
   void RunCellResilient(size_t cell_index, FleetCellResult* result);
+  void RunCellTxn(size_t cell_index, FleetCellResult* result);
   /// Called by the cell that completes the outage phase last: lifts the
   /// forced outage and stamps the heal time.
   void HealOutage();

@@ -162,6 +162,152 @@ Result<uint64_t> ResilientChannel::Put(const std::string& id,
   return result.versions[0];
 }
 
+Result<cloud::SnapshotDescriptor> ResilientChannel::GetSnapshot() {
+  if (!breaker_.AllowRequest(virtual_now_us_)) {
+    ++stats_.breaker_rejections;
+    return Status::Unavailable("circuit open to " + peer_ +
+                               "'s provider (degraded mode)");
+  }
+  DeadlineBudget budget(options_.op_deadline_us);
+  backoff_.Reset();
+  bool first = true;
+  for (;;) {
+    ++stats_.attempts;
+    if (!first) {
+      ++stats_.retries;
+      metrics_.retries.Increment();
+    }
+    first = false;
+    uint32_t delay_us = 0;
+    Result<cloud::SnapshotDescriptor> snap = cloud_->GetSnapshotRpc(&delay_us);
+    const uint64_t charged = options_.attempt_cost_us + delay_us;
+    virtual_now_us_ += charged;
+    bool in_budget = budget.Charge(charged);
+    if (snap.ok()) {
+      breaker_.RecordSuccess(virtual_now_us_);
+      ++stats_.ops_ok;
+      return snap;
+    }
+    if (!snap.status().IsTransient()) {
+      ++stats_.ops_failed;
+      return snap.status();
+    }
+    uint64_t delay = backoff_.NextDelayUs();
+    virtual_now_us_ += delay;
+    in_budget = budget.Charge(delay) && in_budget;
+    if (!in_budget) {
+      Status deadline = Status::DeadlineExceeded(
+          "snapshot: still unavailable after " +
+          std::to_string(budget.spent_us()) + "us (last: " +
+          snap.status().ToString() + ")");
+      RecordOpFailure(deadline, "snapshot");
+      return deadline;
+    }
+  }
+}
+
+Result<cloud::SnapshotRead> ResilientChannel::GetAtSnapshot(
+    const std::string& id, const cloud::SnapshotDescriptor& snap) {
+  if (!breaker_.AllowRequest(virtual_now_us_)) {
+    ++stats_.breaker_rejections;
+    return Status::Unavailable("circuit open to " + peer_ +
+                               "'s provider (degraded mode)");
+  }
+  DeadlineBudget budget(options_.op_deadline_us);
+  backoff_.Reset();
+  bool first = true;
+  for (;;) {
+    ++stats_.attempts;
+    if (!first) {
+      ++stats_.retries;
+      metrics_.retries.Increment();
+    }
+    first = false;
+    uint32_t delay_us = 0;
+    Result<cloud::SnapshotRead> read =
+        cloud_->GetBlobAtSnapshotRpc(id, snap, &delay_us);
+    const uint64_t charged = options_.attempt_cost_us + delay_us;
+    virtual_now_us_ += charged;
+    bool in_budget = budget.Charge(charged);
+    if (read.ok()) {
+      breaker_.RecordSuccess(virtual_now_us_);
+      ++stats_.ops_ok;
+      return read;
+    }
+    if (!read.status().IsTransient()) {
+      // kNotFound is an answer: the blob has no visible version.
+      ++stats_.ops_failed;
+      return read.status();
+    }
+    uint64_t delay = backoff_.NextDelayUs();
+    virtual_now_us_ += delay;
+    in_budget = budget.Charge(delay) && in_budget;
+    if (!in_budget) {
+      Status deadline = Status::DeadlineExceeded(
+          "snapshot get " + id + ": still unavailable after " +
+          std::to_string(budget.spent_us()) + "us (last: " +
+          read.status().ToString() + ")");
+      RecordOpFailure(deadline, "snapshot_get");
+      return deadline;
+    }
+  }
+}
+
+cloud::TxnOutcome ResilientChannel::CommitTxn(const cloud::TxnRequest& req) {
+  cloud::TxnOutcome out;
+  if (!breaker_.AllowRequest(virtual_now_us_)) {
+    ++stats_.breaker_rejections;
+    out.status = Status::Unavailable("circuit open to " + peer_ +
+                                     "'s provider (degraded mode)");
+    return out;
+  }
+  DeadlineBudget budget(options_.op_deadline_us);
+  backoff_.Reset();
+  bool first = true;
+  Status last_error;
+  for (;;) {
+    ++stats_.attempts;
+    if (!first) {
+      ++stats_.retries;
+      metrics_.retries.Increment();
+    }
+    first = false;
+    cloud::TxnOutcome outcome = cloud_->CommitTxnRpc(req);
+    const uint64_t charged = options_.attempt_cost_us + outcome.delay_us;
+    virtual_now_us_ += charged;
+    bool in_budget = budget.Charge(charged);
+    if (outcome.committed) {
+      breaker_.RecordSuccess(virtual_now_us_);
+      ++stats_.ops_ok;
+      ++stats_.txns_committed;
+      return outcome;
+    }
+    if (outcome.status.IsAborted()) {
+      // A definitive provider answer, not a network failure: the caller
+      // refreshes its snapshot and rebuilds under the same token.
+      breaker_.RecordSuccess(virtual_now_us_);
+      ++stats_.txns_aborted;
+      return outcome;
+    }
+    if (!outcome.status.IsTransient()) {
+      RecordOpFailure(outcome.status, "txn_commit");
+      return outcome;
+    }
+    last_error = outcome.status;
+    uint64_t delay = backoff_.NextDelayUs();
+    virtual_now_us_ += delay;
+    in_budget = budget.Charge(delay) && in_budget;
+    if (!in_budget) {
+      out.status = Status::DeadlineExceeded(
+          "txn " + req.token + ": unresolved after " +
+          std::to_string(budget.spent_us()) + "us (last: " +
+          last_error.ToString() + ")");
+      RecordOpFailure(out.status, "txn_commit");
+      return out;
+    }
+  }
+}
+
 Result<Bytes> ResilientChannel::Get(const std::string& id) {
   if (!breaker_.AllowRequest(virtual_now_us_)) {
     ++stats_.breaker_rejections;

@@ -36,6 +36,8 @@ struct ChannelStats {
   uint64_t breaker_rejections = 0;  ///< Ops answered kUnavailable in O(1).
   uint64_t breaker_opens = 0;
   uint64_t give_ups = 0;  ///< Deadline exhaustions that opened the circuit.
+  uint64_t txns_committed = 0;  ///< Commit answers (incl. replayed).
+  uint64_t txns_aborted = 0;    ///< Definitive abort answers.
 };
 
 /// Client-side resilient channel to the untrusted provider: exponential
@@ -84,6 +86,29 @@ class ResilientChannel {
                        const std::string* token = nullptr);
 
   Result<Bytes> Get(const std::string& id);
+
+  // ---- Provider transactions ----
+
+  /// Snapshot of the provider's committed horizon, with the usual
+  /// breaker/deadline/backoff treatment of the network leg.
+  Result<cloud::SnapshotDescriptor> GetSnapshot();
+
+  /// Snapshot read: newest version of `id` visible in `snap`. kNotFound is
+  /// an answer (no retry); network losses are retried within the budget.
+  Result<cloud::SnapshotRead> GetAtSnapshot(
+      const std::string& id, const cloud::SnapshotDescriptor& snap);
+
+  /// Multi-key atomic commit. Transient network failures are retried with
+  /// the SAME request (same token, same read/write sets) — a lost-ack
+  /// retry is answered from the provider's txn-token table, so the caller
+  /// always learns the transaction's true fate. An abort is a definitive
+  /// answer, NOT a network failure: it is returned to the caller, who
+  /// refreshes its snapshot and rebuilds the transaction under the same
+  /// token. A deadline exhaustion leaves the outcome unresolved
+  /// (`status` = kDeadlineExceeded, `committed` false): the commit may or
+  /// may not have applied, and only a later re-send of the identical
+  /// request can resolve it.
+  cloud::TxnOutcome CommitTxn(const cloud::TxnRequest& req);
 
   /// True while the circuit is open: operations fail fast with
   /// kUnavailable and the owner should queue work locally.

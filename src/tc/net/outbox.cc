@@ -13,26 +13,52 @@ constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
 
 Bytes OutboxRecord::Serialize() const {
   BinaryWriter w;
-  w.PutString("tc.outbox.v1");
+  if (!is_txn) {
+    w.PutString("tc.outbox.v1");
+    w.PutU64(seq);
+    w.PutString(blob_id);
+    w.PutString(token);
+    w.PutBytes(payload);
+    return w.Take();
+  }
+  w.PutString("tc.outbox.txn.v1");
   w.PutU64(seq);
-  w.PutString(blob_id);
   w.PutString(token);
-  w.PutBytes(payload);
+  w.PutVarint(txn_writes.size());
+  for (const OutboxTxnWrite& write : txn_writes) {
+    w.PutString(write.blob_id);
+    w.PutBytes(write.payload);
+  }
   return w.Take();
 }
 
 Result<OutboxRecord> OutboxRecord::Deserialize(const Bytes& data) {
   BinaryReader r(data);
   TC_ASSIGN_OR_RETURN(std::string magic, r.GetString());
-  if (magic != "tc.outbox.v1") {
-    return Status::Corruption("bad outbox record magic");
-  }
   OutboxRecord record;
-  TC_ASSIGN_OR_RETURN(record.seq, r.GetU64());
-  TC_ASSIGN_OR_RETURN(record.blob_id, r.GetString());
-  TC_ASSIGN_OR_RETURN(record.token, r.GetString());
-  TC_ASSIGN_OR_RETURN(record.payload, r.GetBytes());
-  return record;
+  if (magic == "tc.outbox.v1") {
+    TC_ASSIGN_OR_RETURN(record.seq, r.GetU64());
+    TC_ASSIGN_OR_RETURN(record.blob_id, r.GetString());
+    TC_ASSIGN_OR_RETURN(record.token, r.GetString());
+    TC_ASSIGN_OR_RETURN(record.payload, r.GetBytes());
+    return record;
+  }
+  if (magic == "tc.outbox.txn.v1") {
+    record.is_txn = true;
+    TC_ASSIGN_OR_RETURN(record.seq, r.GetU64());
+    TC_ASSIGN_OR_RETURN(record.token, r.GetString());
+    record.blob_id = "txn/" + record.token;
+    TC_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
+    record.txn_writes.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      OutboxTxnWrite write;
+      TC_ASSIGN_OR_RETURN(write.blob_id, r.GetString());
+      TC_ASSIGN_OR_RETURN(write.payload, r.GetBytes());
+      record.txn_writes.push_back(std::move(write));
+    }
+    return record;
+  }
+  return Status::Corruption("bad outbox record magic");
 }
 
 Outbox::Outbox(storage::LogStore* store) : store_(store) {}
@@ -91,6 +117,9 @@ Status Outbox::Enqueue(const std::string& blob_id, const std::string& token,
   record.token = token;
   record.payload = std::move(payload);
   TC_RETURN_IF_ERROR(store_->Put(Key(record.seq), record.Serialize()));
+  // The journal's whole point is surviving a reboot: force the buffered
+  // page out before acknowledging the enqueue.
+  TC_RETURN_IF_ERROR(store_->Flush());
   // Supersede an older pending push of the same blob: last writer wins.
   auto old = by_blob_.find(blob_id);
   if (old != by_blob_.end()) {
@@ -98,6 +127,34 @@ Status Outbox::Enqueue(const std::string& blob_id, const std::string& token,
     pending_.erase(old->second);
   }
   by_blob_[blob_id] = record.seq;
+  ++enqueued_total_;
+  pending_.emplace(record.seq, std::move(record));
+  return Status::OK();
+}
+
+Status Outbox::EnqueueTxn(const std::string& token,
+                          std::vector<OutboxTxnWrite> writes) {
+  if (token.empty() || writes.empty()) {
+    return Status::InvalidArgument("outbox txn needs a token and writes");
+  }
+  OutboxRecord record;
+  record.seq = next_seq_++;
+  record.is_txn = true;
+  record.token = token;
+  record.blob_id = "txn/" + token;
+  record.txn_writes = std::move(writes);
+  TC_RETURN_IF_ERROR(store_->Put(Key(record.seq), record.Serialize()));
+  // Durable before acknowledged, like Enqueue: the one-record journal
+  // entry is all-or-nothing on flash only once the page is programmed.
+  TC_RETURN_IF_ERROR(store_->Flush());
+  // Same token re-journaled (shouldn't happen — the cell journals a
+  // transaction at most once) would supersede like a blob push.
+  auto old = by_blob_.find(record.blob_id);
+  if (old != by_blob_.end()) {
+    (void)store_->Delete(Key(old->second));
+    pending_.erase(old->second);
+  }
+  by_blob_[record.blob_id] = record.seq;
   ++enqueued_total_;
   pending_.emplace(record.seq, std::move(record));
   return Status::OK();
@@ -115,11 +172,29 @@ Status Outbox::MarkDone(uint64_t seq) {
   return Status::OK();
 }
 
-const OutboxRecord* Outbox::FindByBlobId(const std::string& blob_id) const {
+const OutboxRecord* Outbox::FindByBlobId(const std::string& blob_id,
+                                         const Bytes** txn_payload) const {
+  if (txn_payload != nullptr) *txn_payload = nullptr;
   auto it = by_blob_.find(blob_id);
-  if (it == by_blob_.end()) return nullptr;
-  auto record = pending_.find(it->second);
-  return record == pending_.end() ? nullptr : &record->second;
+  if (it != by_blob_.end()) {
+    auto record = pending_.find(it->second);
+    if (record != pending_.end()) {
+      if (txn_payload != nullptr) *txn_payload = &record->second.payload;
+      return &record->second;
+    }
+    return nullptr;
+  }
+  // Read-your-writes through pending transactions: newest record wins.
+  for (auto rit = pending_.rbegin(); rit != pending_.rend(); ++rit) {
+    if (!rit->second.is_txn) continue;
+    for (const OutboxTxnWrite& write : rit->second.txn_writes) {
+      if (write.blob_id == blob_id) {
+        if (txn_payload != nullptr) *txn_payload = &write.payload;
+        return &rit->second;
+      }
+    }
+  }
+  return nullptr;
 }
 
 }  // namespace tc::net

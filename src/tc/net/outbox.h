@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "tc/common/bytes.h"
 #include "tc/common/result.h"
@@ -11,16 +12,32 @@
 
 namespace tc::net {
 
+/// One write of a journaled whole-transaction record.
+struct OutboxTxnWrite {
+  std::string blob_id;
+  Bytes payload;
+};
+
 /// One queued cloud push: the sealed payload (safe at rest — it is exactly
 /// the ciphertext that would have gone over the wire) plus the idempotency
 /// token minted for the *first* attempt. Replaying the record after a
 /// crash reuses the token, so a push that actually reached the provider
 /// before the ack was lost is deduped server-side, never duplicated.
+///
+/// A record is either a single blob push (`is_txn` false: blob_id/payload)
+/// or a whole journaled transaction (`is_txn` true: `txn_writes`, with
+/// `blob_id` holding the synthetic "txn/<token>" index key). A journaled
+/// transaction drains through CommitTxn under its original token: all of
+/// its writes land atomically or, if the commit already applied before a
+/// crash, the token table replays the original outcome — never a partial
+/// application.
 struct OutboxRecord {
   uint64_t seq = 0;
   std::string blob_id;
   std::string token;
   Bytes payload;
+  bool is_txn = false;
+  std::vector<OutboxTxnWrite> txn_writes;
 
   Bytes Serialize() const;
   static Result<OutboxRecord> Deserialize(const Bytes& data);
@@ -46,6 +63,14 @@ class Outbox {
   Status Enqueue(const std::string& blob_id, const std::string& token,
                  Bytes payload);
 
+  /// Journals a whole transaction as one record (one LogStore Put, so the
+  /// journal entry itself is atomic: after a crash either the whole
+  /// transaction is pending or none of it is). Transactions are never
+  /// superseded — they drain in seq order with last-writer-wins semantics
+  /// at the provider.
+  Status EnqueueTxn(const std::string& token,
+                    std::vector<OutboxTxnWrite> writes);
+
   /// Drops a drained record.
   Status MarkDone(uint64_t seq);
 
@@ -53,8 +78,12 @@ class Outbox {
   const std::map<uint64_t, OutboxRecord>& pending() const { return pending_; }
 
   /// The pending push for `blob_id`, if any — degraded-mode reads are
-  /// served from here (read-your-writes while partitioned).
-  const OutboxRecord* FindByBlobId(const std::string& blob_id) const;
+  /// served from here (read-your-writes while partitioned). Falls back to
+  /// scanning pending transaction records (newest first) for a write of
+  /// `blob_id`; `txn_payload`, when non-null, receives that write's
+  /// payload (the returned record's own `payload` is empty for txns).
+  const OutboxRecord* FindByBlobId(const std::string& blob_id,
+                                   const Bytes** txn_payload = nullptr) const;
 
   size_t size() const { return pending_.size(); }
   bool empty() const { return pending_.empty(); }

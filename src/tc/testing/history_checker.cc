@@ -1,0 +1,188 @@
+#include "tc/testing/history_checker.h"
+
+#include <algorithm>
+
+namespace tc::testing {
+
+void HistoryChecker::OnBegin(const std::string& txn_id,
+                             const cloud::SnapshotDescriptor& snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Txn& txn = txns_[txn_id];
+  if (txn.began) {
+    protocol_errors_.push_back(txn_id + ": began twice");
+    return;
+  }
+  txn.began = true;
+  txn.snapshot = snapshot;
+}
+
+void HistoryChecker::OnRead(const std::string& txn_id, const std::string& key,
+                            uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Txn& txn = txns_[txn_id];
+  if (!txn.began) {
+    protocol_errors_.push_back(txn_id + ": read of " + key +
+                               " before begin");
+    return;
+  }
+  txn.reads.emplace_back(key, version);
+}
+
+void HistoryChecker::OnCommit(
+    const std::string& txn_id, uint64_t commit_seq,
+    const std::vector<std::pair<std::string, uint64_t>>& writes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Txn& txn = txns_[txn_id];
+  if (!txn.began) {
+    protocol_errors_.push_back(txn_id + ": commit before begin");
+  }
+  if (txn.committed || txn.aborted) {
+    protocol_errors_.push_back(txn_id + ": resolved twice");
+    return;
+  }
+  txn.committed = true;
+  txn.commit_seq = commit_seq;
+  txn.writes = writes;
+}
+
+void HistoryChecker::OnAbort(const std::string& txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Txn& txn = txns_[txn_id];
+  if (txn.committed || txn.aborted) {
+    protocol_errors_.push_back(txn_id + ": resolved twice");
+    return;
+  }
+  txn.aborted = true;
+}
+
+std::vector<std::string> HistoryChecker::Verify() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> violations = protocol_errors_;
+
+  // Index every committed write: key -> version -> (txn, commit_seq).
+  struct WriteRec {
+    const std::string* txn_id;
+    uint64_t commit_seq;
+  };
+  std::map<std::string, std::map<uint64_t, WriteRec>> key_versions;
+  std::map<uint64_t, const std::string*> seq_owner;
+  for (const auto& [id, txn] : txns_) {
+    if (!txn.committed) continue;
+    if (txn.commit_seq == 0) {
+      violations.push_back(id + ": committed with sequence number 0");
+      continue;
+    }
+    auto [seq_it, fresh] = seq_owner.emplace(txn.commit_seq, &id);
+    if (!fresh) {
+      violations.push_back(id + " and " + *seq_it->second +
+                           ": share commit sequence number " +
+                           std::to_string(txn.commit_seq));
+    }
+    for (const auto& [key, version] : txn.writes) {
+      if (version == 0) {
+        violations.push_back(id + ": committed version 0 of " + key);
+        continue;
+      }
+      auto [it, inserted] =
+          key_versions[key].emplace(version, WriteRec{&id, txn.commit_seq});
+      if (!inserted) {
+        violations.push_back(id + " and " + *it->second.txn_id +
+                             ": both committed " + key + " version " +
+                             std::to_string(version));
+      }
+    }
+  }
+
+  // 1+2: per-key density and version/sequence order agreement.
+  for (const auto& [key, versions] : key_versions) {
+    uint64_t expect = 1;
+    uint64_t prev_seq = 0;
+    for (const auto& [version, rec] : versions) {
+      if (version != expect) {
+        violations.push_back(key + ": version gap — expected " +
+                             std::to_string(expect) + ", next committed is " +
+                             std::to_string(version));
+        expect = version;  // Report each gap once.
+      }
+      ++expect;
+      if (rec.commit_seq <= prev_seq) {
+        violations.push_back(
+            key + ": version " + std::to_string(version) + " (" +
+            *rec.txn_id + ") committed at sequence " +
+            std::to_string(rec.commit_seq) +
+            ", not after its predecessor's sequence " +
+            std::to_string(prev_seq));
+      }
+      prev_seq = rec.commit_seq;
+    }
+  }
+
+  // Newest version of `key` visible in `snap` under the closed-world
+  // committed-write index; 0 = none visible.
+  auto visible_version = [&](const std::string& key,
+                             const cloud::SnapshotDescriptor& snap) {
+    auto it = key_versions.find(key);
+    if (it == key_versions.end()) return uint64_t{0};
+    for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+      if (snap.Visible(rit->second.commit_seq)) return rit->first;
+    }
+    return uint64_t{0};
+  };
+
+  for (const auto& [id, txn] : txns_) {
+    if (!txn.began) continue;
+    // 3: every read (also on aborted attempts) saw exactly the newest
+    // version visible in its snapshot.
+    for (const auto& [key, version] : txn.reads) {
+      uint64_t expected = visible_version(key, txn.snapshot);
+      if (version != expected) {
+        violations.push_back(
+            id + ": read " + key + " version " + std::to_string(version) +
+            " under a snapshot whose newest visible version is " +
+            std::to_string(expected));
+      }
+    }
+    if (!txn.committed) continue;
+    // 4: first-committer-wins — a read-modify-write landed exactly one
+    // version above what it read (lost updates surface here).
+    for (const auto& [key, version] : txn.writes) {
+      for (const auto& [rkey, rversion] : txn.reads) {
+        if (rkey != key) continue;
+        if (version != rversion + 1) {
+          violations.push_back(
+              id + ": wrote " + key + " version " + std::to_string(version) +
+              " after reading version " + std::to_string(rversion) +
+              " (lost update)");
+        }
+      }
+    }
+    // 5: the snapshot predates the commit.
+    if (txn.snapshot.Visible(txn.commit_seq)) {
+      violations.push_back(id + ": own commit sequence " +
+                           std::to_string(txn.commit_seq) +
+                           " is visible in its own snapshot");
+    }
+  }
+  return violations;
+}
+
+size_t HistoryChecker::recorded_txns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return txns_.size();
+}
+
+size_t HistoryChecker::commits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [id, txn] : txns_) n += txn.committed ? 1 : 0;
+  return n;
+}
+
+size_t HistoryChecker::aborts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [id, txn] : txns_) n += txn.aborted ? 1 : 0;
+  return n;
+}
+
+}  // namespace tc::testing

@@ -1,0 +1,78 @@
+#ifndef TC_TESTING_HISTORY_CHECKER_H_
+#define TC_TESTING_HISTORY_CHECKER_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tc/cloud/txn.h"
+
+namespace tc::testing {
+
+/// Records a concurrent transaction history (begin / snapshot reads /
+/// commit / abort, fed through the cloud::TxnHistorySink interface from
+/// any number of threads) and verifies after the fact that the provider
+/// produced a serializable execution.
+///
+/// The checker assumes a CLOSED WORLD over the keys it sees: every
+/// committed write of those keys was reported to the sink. Under that
+/// assumption, Verify() enforces:
+///
+///  1. Per-key version density: the committed versions of each key are
+///     exactly 1..N, each written by exactly one commit.
+///  2. Version order: a key's commit sequence numbers strictly increase
+///     with its version numbers (the provider's serialization order and
+///     the version order agree), and no two commits share a sequence
+///     number.
+///  3. Snapshot-read consistency: every recorded read (committed OR
+///     aborted attempt) returned exactly the newest version visible in
+///     the attempt's snapshot — no torn snapshots, no future reads.
+///  4. Read-modify-write currency (first-committer-wins): a commit that
+///     both read and wrote a key wrote exactly read_version + 1 — the
+///     lost-update anomaly is a violation.
+///  5. Self-visibility: a transaction's own commit sequence number is not
+///     visible in its own snapshot.
+///
+/// Violations are returned as human-readable strings (empty = the history
+/// is serializable). The sink methods are thread-safe; Verify() is meant
+/// to run after the workload quiesces.
+class HistoryChecker : public cloud::TxnHistorySink {
+ public:
+  void OnBegin(const std::string& txn_id,
+               const cloud::SnapshotDescriptor& snapshot) override;
+  void OnRead(const std::string& txn_id, const std::string& key,
+              uint64_t version) override;
+  void OnCommit(
+      const std::string& txn_id, uint64_t commit_seq,
+      const std::vector<std::pair<std::string, uint64_t>>& writes) override;
+  void OnAbort(const std::string& txn_id) override;
+
+  /// Full serializability audit; empty result = pass.
+  std::vector<std::string> Verify() const;
+
+  size_t recorded_txns() const;
+  size_t commits() const;
+  size_t aborts() const;
+
+ private:
+  struct Txn {
+    bool began = false;
+    bool committed = false;
+    bool aborted = false;
+    cloud::SnapshotDescriptor snapshot;
+    uint64_t commit_seq = 0;
+    std::vector<std::pair<std::string, uint64_t>> reads;
+    std::vector<std::pair<std::string, uint64_t>> writes;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Txn> txns_;
+  std::vector<std::string> protocol_errors_;  // Malformed event sequences.
+};
+
+}  // namespace tc::testing
+
+#endif  // TC_TESTING_HISTORY_CHECKER_H_

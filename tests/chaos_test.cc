@@ -5,12 +5,15 @@
 //                                   readable as the provider's latest state
 //   2. no version anomalies       — acked versions per doc strictly increase
 //   3. no duplicate side-effects  — versions created == idempotency tokens
-//                                   applied, however often the network
-//                                   re-delivered each write
-// plus the CI reproducibility gate: every chaos seed must replay exactly
-// from its printed fault schedule.
+//                                   applied + txn writes applied, however
+//                                   often the network re-delivered anything
+// plus serializability of the contended multi-key transaction workload
+// (HistoryChecker over a fault-rate x seed sweep) and the CI
+// reproducibility gate: every chaos seed must replay exactly from its
+// printed fault schedule.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
 #include <string>
 
@@ -19,6 +22,7 @@
 #include "tc/cloud/infrastructure.h"
 #include "tc/common/clock.h"
 #include "tc/fleet/fleet.h"
+#include "tc/testing/history_checker.h"
 
 namespace tc {
 namespace {
@@ -60,18 +64,30 @@ void ExpectInvariantsHold(const FleetReport& report,
   EXPECT_EQ(report.cells_converged, report.cells.size()) << label;
   // Exactly-once: however many times the network re-delivered writes
   // (lost acks, duplicates, torn batches), each logical write created at
-  // most one version.
+  // most one version — tokened puts and transaction writes both.
   EXPECT_EQ(cloud.blob_store().versions_created(),
-            cloud.blob_store().tokens_applied())
+            cloud.blob_store().tokens_applied() +
+                cloud.blob_store().txn_writes_applied())
       << label << ": duplicate side-effects ("
-      << cloud.blob_store().token_dedupe_hits() << " dedupe hits)";
+      << cloud.blob_store().token_dedupe_hits() << " dedupe hits, "
+      << cloud.blob_store().txn_replays() << " txn replays)";
+}
+
+// Deep-sweep width is env-tunable: the CI default keeps the lane cheap,
+// `TC_CHAOS_SEEDS=25 ctest -L chaos` runs the wide sweep.
+uint64_t ChaosSeedCount(uint64_t fallback) {
+  const char* env = std::getenv("TC_CHAOS_SEEDS");
+  if (env == nullptr || *env == '\0') return fallback;
+  const long parsed = std::atol(env);
+  return parsed > 0 ? static_cast<uint64_t>(parsed) : fallback;
 }
 
 TEST(ChaosTest, FaultRateSweepHoldsInvariants) {
   // 1%, 10% and 50% per-attempt fault rates, several seeds each, over an
   // 8-thread fleet. All virtual-time: no wall sleeps anywhere.
+  const uint64_t seeds = ChaosSeedCount(3);
   for (double rate : {0.01, 0.10, 0.50}) {
-    for (uint64_t seed = 1; seed <= 3; ++seed) {
+    for (uint64_t seed = 1; seed <= seeds; ++seed) {
       CloudInfrastructure cloud;
       NetworkFaultConfig config = NetworkFaultConfig::Lossy(rate, seed);
       config.delay_prob = rate;
@@ -92,6 +108,68 @@ TEST(ChaosTest, FaultRateSweepHoldsInvariants) {
         EXPECT_GT(injector.stats().faults(), 0u) << label;
         EXPECT_GT(report->retries, 0u) << label;
       }
+    }
+  }
+}
+
+TEST(ChaosTest, TxnSweepIsSerializableUnderFaults) {
+  // Contended multi-key read-modify-write transactions from a 16-cell /
+  // 8-thread fleet over 4 shared keys, swept over fault rates x seeds.
+  // At EVERY point: zero serializability violations (HistoryChecker),
+  // every transaction resolves, and the commit-exactness audit holds
+  // (counter == version per key; versions == commits x keys).
+  const uint64_t seeds = ChaosSeedCount(5);
+  for (double rate : {0.01, 0.10, 0.30}) {
+    for (uint64_t seed = 1; seed <= seeds; ++seed) {
+      CloudInfrastructure cloud;
+      NetworkFaultConfig config = NetworkFaultConfig::Lossy(rate, seed);
+      config.delay_prob = rate;
+      NetworkFaultInjector injector(config);
+      cloud.set_fault_injector(&injector);
+
+      tc::testing::HistoryChecker checker;
+      FleetOptions options = ChaosFleet();
+      options.cells = 16;
+      options.threads = 8;
+      options.rounds_per_cell = 6;
+      options.txn_workload = true;
+      options.txn_shared_docs = 4;
+      options.txn_keys = 2;
+      options.seed = seed;
+      options.history = &checker;
+
+      fleet::FleetRunner runner(&cloud, options);
+      auto report = runner.Run();
+      std::string label =
+          "rate=" + std::to_string(rate) + " seed=" + std::to_string(seed);
+      ASSERT_TRUE(report.ok()) << label << ": " << report.status().ToString()
+                               << "\nfault schedule:\n"
+                               << injector.FormatSchedule();
+      for (const auto& cell : report->cells) {
+        EXPECT_TRUE(cell.status.ok())
+            << label << " " << cell.cell_id << ": " << cell.status.ToString();
+      }
+      EXPECT_TRUE(report->converged) << label;
+      // Every logical transaction resolved: commit or definitive abort.
+      EXPECT_EQ(report->txns_committed,
+                options.cells * options.rounds_per_cell)
+          << label;
+      EXPECT_EQ(checker.commits(), report->txns_committed) << label;
+      // The serializability verdict.
+      auto violations = checker.Verify();
+      EXPECT_TRUE(violations.empty()) << label << ": first violation: "
+                                      << (violations.empty()
+                                              ? ""
+                                              : violations.front());
+      // Shared keys really were contended under faults.
+      if (rate >= 0.10) {
+        EXPECT_GT(report->txn_aborts + report->retries, 0u) << label;
+      }
+      // Token-table replays and duplicate deliveries never double-applied.
+      EXPECT_EQ(cloud.blob_store().versions_created(),
+                cloud.blob_store().tokens_applied() +
+                    cloud.blob_store().txn_writes_applied())
+          << label;
     }
   }
 }
@@ -253,7 +331,8 @@ TEST_F(CellChaosTest, PartitionedCellKeepsWorkingAndCatchesUp) {
 
   // No duplicate side-effects despite the deferred/replayed pushes.
   EXPECT_EQ(cloud_.blob_store().versions_created(),
-            cloud_.blob_store().tokens_applied());
+            cloud_.blob_store().tokens_applied() +
+                cloud_.blob_store().txn_writes_applied());
 }
 
 TEST_F(CellChaosTest, OutboxSurvivesLossyNetwork) {
@@ -286,7 +365,8 @@ TEST_F(CellChaosTest, OutboxSurvivesLossyNetwork) {
               ToBytes("body" + std::to_string(i)));
   }
   EXPECT_EQ(cloud_.blob_store().versions_created(),
-            cloud_.blob_store().tokens_applied());
+            cloud_.blob_store().tokens_applied() +
+                cloud_.blob_store().txn_writes_applied());
 }
 
 }  // namespace

@@ -104,6 +104,54 @@ TEST(BlobStoreTest, PutBatchAssignsVersionsInInputOrder) {
   EXPECT_EQ(store.total_bytes(), 10u);
 }
 
+TEST(BlobStoreTest, TokenEvictionReDeliveryStaysConvergent) {
+  // Regression for the FIFO idempotency-token window: a re-delivery whose
+  // token was evicted is applied again, and the DOCUMENTED bound is that
+  // this appends a duplicate version with identical bytes — the
+  // convergence audit (latest payload per blob) must be unaffected, and a
+  // within-window re-delivery must still dedupe exactly.
+  BlobStore store(/*shard_count=*/1, /*token_history=*/4);
+  const Bytes payload = ToBytes("sealed, attempt-stable bytes");
+
+  std::vector<uint64_t> first =
+      store.PutBatchIdempotent({{"doc", payload}}, {"cell|doc|v1"});
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0], 1u);
+
+  // Within the window: the duplicate is answered from the table — same
+  // version, no new state.
+  std::vector<uint64_t> duped =
+      store.PutBatchIdempotent({{"doc", payload}}, {"cell|doc|v1"});
+  EXPECT_EQ(duped[0], 1u);
+  EXPECT_EQ(store.token_dedupe_hits(), 1u);
+  EXPECT_EQ(*store.LatestVersion("doc"), 1u);
+
+  // Push four unrelated tokens through the single shard: FIFO capacity is
+  // 4, so "cell|doc|v1" is evicted.
+  for (int i = 0; i < 4; ++i) {
+    store.PutBatchIdempotent({{"other", ToBytes("x")}},
+                             {"cell|other|v" + std::to_string(i + 1)});
+  }
+
+  // Post-eviction re-delivery: applied as a fresh write. The bound we
+  // document — and must not silently widen — is ONE duplicate version,
+  // byte-identical to the acked one, leaving the latest payload (what the
+  // convergence audit compares) unchanged.
+  std::vector<uint64_t> late =
+      store.PutBatchIdempotent({{"doc", payload}}, {"cell|doc|v1"});
+  EXPECT_EQ(late[0], 2u);
+  EXPECT_EQ(store.token_dedupe_hits(), 1u);  // Not a table hit.
+  EXPECT_EQ(*store.LatestVersion("doc"), 2u);
+  EXPECT_EQ(*store.GetVersion("doc", 1), payload);
+  EXPECT_EQ(*store.GetVersion("doc", 2), payload);  // Identical bytes.
+  EXPECT_EQ(*store.Get("doc"), payload);  // Convergence audit unaffected.
+
+  // Accounting: the evicted re-delivery counts as a fresh applied token,
+  // so the versions == tokens + txn-writes invariant still balances.
+  EXPECT_EQ(store.versions_created(),
+            store.tokens_applied() + store.txn_writes_applied());
+}
+
 TEST(CloudTest, HonestMessaging) {
   CloudInfrastructure cloud;
   cloud.Send("alice", "bob", "greeting", ToBytes("hi"));
