@@ -4,14 +4,19 @@
 #   1. configure + build the default tree;
 #   2. run the full ctest suite (the fast "unit" lane: every suite at its
 #      cheap default sweep depth);
-#   3. deep chaos/txn lane (opt-in): TC_CHAOS_SEEDS widens the fault-rate x
+#   3. wire lane: rpc_test plus the chaos/txn suites rerun with
+#      TC_TRANSPORT=socket (real loopback TCP under the same fault
+#      injection and serializability checks). Every wire test carries an
+#      explicit ctest TIMEOUT; where loopback sockets are unavailable the
+#      tests GTEST_SKIP with a printed reason and the lane stays green;
+#   4. deep chaos/txn lane (opt-in): TC_CHAOS_SEEDS widens the fault-rate x
 #      seed sweeps, re-running only the suites labeled chaos/txn — CI keeps
 #      the cheap default, nightly jobs export TC_CHAOS_SEEDS=25;
-#   4. chaos determinism gate: every chaos seed must replay exactly from
+#   5. chaos determinism gate: every chaos seed must replay exactly from
 #      its printed fault schedule (a chaos failure that cannot be
 #      reproduced from its schedule print is not debuggable);
-#   5. check no generated build*/ tree is tracked or staged;
-#   6. run the obs export validator (quick bench run + trace JSON checks).
+#   6. check no generated build*/ tree is tracked or staged;
+#   7. run the obs export validator (quick bench run + trace JSON checks).
 #
 # Each step's script documents its own skip conditions; this wrapper just
 # sequences them and stops at the first failure.
@@ -21,6 +26,8 @@ cd "$(dirname "$0")/.."
 cmake -B build -S .
 cmake --build build -j "$(nproc)"
 (cd build && ctest --output-on-failure -j "$(nproc)")
+echo "ci: wire lane (loopback-socket legs; skips print their reason)"
+(cd build && ctest --output-on-failure -L wire)
 if [ -n "${TC_CHAOS_SEEDS:-}" ]; then
   echo "ci: deep chaos/txn lane (TC_CHAOS_SEEDS=${TC_CHAOS_SEEDS})"
   (cd build && ctest --output-on-failure -L 'chaos|txn')

@@ -1,6 +1,8 @@
 #!/bin/sh
 # Runs the concurrency suites (fleet_test, cloud_test, obs_test,
-# chaos_test, net_test) under ThreadSanitizer
+# chaos_test, net_test, txn_test, rpc_test — plus the chaos/txn wire legs,
+# which rerun over real loopback sockets and race-check the RPC
+# server/client threads) under ThreadSanitizer
 # via the `tsan` CMake preset. Skips gracefully (exit 0 with a message) when
 # the toolchain cannot build TSan binaries, so CI on odd platforms stays
 # green without silently pretending the suites ran.

@@ -253,8 +253,13 @@ Status TrustedCell::Init() {
       for (int i = 0; i < 8; ++i) seed = (seed << 8) | digest[i];
       channel_options.seed = seed;
     }
-    channel_ = std::make_unique<net::ResilientChannel>(cloud_, config_.owner,
-                                                       channel_options);
+    if (config_.transport != nullptr) {
+      channel_ = std::make_unique<net::ResilientChannel>(
+          config_.transport, config_.owner, channel_options);
+    } else {
+      channel_ = std::make_unique<net::ResilientChannel>(cloud_, config_.owner,
+                                                         channel_options);
+    }
     outbox_ = std::make_unique<net::Outbox>(store_.get());
     TC_RETURN_IF_ERROR(outbox_->Load());
     if (!outbox_->empty()) {

@@ -149,6 +149,11 @@ class TrustedCell {
     /// default — the direct path has zero added cost.
     bool resilient_sync = false;
     net::ChannelOptions channel;
+    /// When set (with resilient_sync), the cell's channel crosses this
+    /// transport (e.g. an rpc::SocketTransport to a provider in another
+    /// process) instead of calling the CloudInfrastructure in-process.
+    /// Not owned; must outlive the cell.
+    net::CloudTransport* transport = nullptr;
   };
 
   /// Creates the cell, provisions its TEE (owner master key, storage root

@@ -156,7 +156,16 @@ void FleetRunner::RunCellResilient(size_t cell_index, FleetCellResult* result) {
   // Decorrelated jitter stream per cell, so retries do not synchronize.
   channel_options.seed = MixSeed(options_.seed ^ 0x6e65742d6a697474ULL,
                                  cell_index);
-  net::ResilientChannel channel(cloud_, result->cell_id, channel_options);
+  // Transport-explicit when the fleet was pointed at a wire (socket leg);
+  // the historical direct in-process path otherwise.
+  std::optional<net::ResilientChannel> channel_storage;
+  if (options_.transport != nullptr) {
+    channel_storage.emplace(options_.transport, result->cell_id,
+                            channel_options);
+  } else {
+    channel_storage.emplace(cloud_, result->cell_id, channel_options);
+  }
+  net::ResilientChannel& channel = *channel_storage;
 
   const size_t docs = options_.docs_per_cell;
   auto blob_of = [&](size_t doc) {
@@ -397,8 +406,14 @@ void FleetRunner::RunCellTxn(size_t cell_index, FleetCellResult* result) {
   channel_options.seed = MixSeed(options_.seed ^ 0x6e65742d6a697474ULL,
                                  cell_index);
   std::optional<net::ResilientChannel> channel;
-  if (options_.resilient) {
-    channel.emplace(cloud_, result->cell_id, channel_options);
+  // A wire transport implies channel mode even when resilience was not
+  // asked for: the socket leg has no direct in-process shortcut.
+  if (options_.resilient || options_.transport != nullptr) {
+    if (options_.transport != nullptr) {
+      channel.emplace(options_.transport, result->cell_id, channel_options);
+    } else {
+      channel.emplace(cloud_, result->cell_id, channel_options);
+    }
   }
   cloud::TxnHistorySink* history = options_.history;
 

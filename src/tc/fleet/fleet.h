@@ -44,6 +44,15 @@ struct FleetOptions {
   /// end-of-run drain; unavailable reads are counted, not failed.
   bool resilient = false;
   net::ChannelOptions channel;
+  /// When set (resilient/txn modes), every cell's channel speaks through
+  /// this transport instead of calling the shared CloudInfrastructure
+  /// in-process — e.g. an rpc::SocketTransport crossing real TCP to an
+  /// RpcServer. Not owned; must outlive the run. Implementations must be
+  /// thread-safe (every cell task calls concurrently). Bus traffic and
+  /// the ground-truth convergence audit intentionally stay on the direct
+  /// in-process path: they are the test's omniscient oracle, not cell
+  /// traffic.
+  net::CloudTransport* transport = nullptr;
   /// With resilient mode and an attached injector: force a full provider
   /// outage until every cell has completed this many rounds (the E14
   /// partition-heals-and-converges phase). The heal is an all-cells

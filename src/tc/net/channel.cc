@@ -17,6 +17,18 @@ ResilientChannel::ResilientChannel(cloud::CloudInfrastructure* cloud,
                                    std::string peer_id,
                                    const ChannelOptions& options)
     : cloud_(cloud),
+      owned_transport_(std::make_unique<InProcessTransport>(cloud)),
+      transport_(owned_transport_.get()),
+      peer_(std::move(peer_id)),
+      options_(options),
+      backoff_(options.backoff, options.seed),
+      breaker_(options.breaker) {}
+
+ResilientChannel::ResilientChannel(CloudTransport* transport,
+                                   std::string peer_id,
+                                   const ChannelOptions& options)
+    : cloud_(nullptr),
+      transport_(transport),
       peer_(std::move(peer_id)),
       options_(options),
       backoff_(options.backoff, options.seed),
@@ -94,8 +106,8 @@ ResilientChannel::PutBatchResult ResilientChannel::PutBatch(
       metrics_.retries.Increment();
     }
     cloud::CloudInfrastructure::BatchPutOutcome outcome =
-        first ? cloud_->PutBlobBatchRpc(items, tokens)
-              : cloud_->PutBlobBatchRpc(sub_items, sub_tokens);
+        first ? transport_->PutBlobBatch(items, tokens)
+              : transport_->PutBlobBatch(sub_items, sub_tokens);
     const uint64_t charged = options_.attempt_cost_us + outcome.delay_us;
     virtual_now_us_ += charged;
     bool in_budget = budget.Charge(charged);
@@ -179,7 +191,7 @@ Result<cloud::SnapshotDescriptor> ResilientChannel::GetSnapshot() {
     }
     first = false;
     uint32_t delay_us = 0;
-    Result<cloud::SnapshotDescriptor> snap = cloud_->GetSnapshotRpc(&delay_us);
+    Result<cloud::SnapshotDescriptor> snap = transport_->GetSnapshot(&delay_us);
     const uint64_t charged = options_.attempt_cost_us + delay_us;
     virtual_now_us_ += charged;
     bool in_budget = budget.Charge(charged);
@@ -225,7 +237,7 @@ Result<cloud::SnapshotRead> ResilientChannel::GetAtSnapshot(
     first = false;
     uint32_t delay_us = 0;
     Result<cloud::SnapshotRead> read =
-        cloud_->GetBlobAtSnapshotRpc(id, snap, &delay_us);
+        transport_->GetAtSnapshot(id, snap, &delay_us);
     const uint64_t charged = options_.attempt_cost_us + delay_us;
     virtual_now_us_ += charged;
     bool in_budget = budget.Charge(charged);
@@ -272,7 +284,7 @@ cloud::TxnOutcome ResilientChannel::CommitTxn(const cloud::TxnRequest& req) {
       metrics_.retries.Increment();
     }
     first = false;
-    cloud::TxnOutcome outcome = cloud_->CommitTxnRpc(req);
+    cloud::TxnOutcome outcome = transport_->CommitTxn(req);
     const uint64_t charged = options_.attempt_cost_us + outcome.delay_us;
     virtual_now_us_ += charged;
     bool in_budget = budget.Charge(charged);
@@ -325,7 +337,7 @@ Result<Bytes> ResilientChannel::Get(const std::string& id) {
     }
     first = false;
     uint32_t delay_us = 0;
-    Result<Bytes> data = cloud_->GetBlobRpc(id, &delay_us);
+    Result<Bytes> data = transport_->GetBlob(id, &delay_us);
     const uint64_t charged = options_.attempt_cost_us + delay_us;
     virtual_now_us_ += charged;
     bool in_budget = budget.Charge(charged);

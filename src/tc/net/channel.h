@@ -6,10 +6,13 @@
 #include <utility>
 #include <vector>
 
+#include <memory>
+
 #include "tc/cloud/infrastructure.h"
 #include "tc/common/result.h"
 #include "tc/net/backoff.h"
 #include "tc/net/circuit_breaker.h"
+#include "tc/net/transport.h"
 #include "tc/obs/metrics.h"
 
 namespace tc::net {
@@ -68,7 +71,16 @@ class ResilientChannel {
     uint32_t attempts = 0;
   };
 
+  /// In-process channel (the historical default): wraps `cloud` in an
+  /// owned InProcessTransport.
   ResilientChannel(cloud::CloudInfrastructure* cloud, std::string peer_id,
+                   const ChannelOptions& options);
+
+  /// Transport-explicit channel: every attempt goes through `transport`
+  /// (not owned; must outlive the channel). This is how a cell speaks to a
+  /// provider living in another process over TCP — same retry engine, same
+  /// token semantics, different wire.
+  ResilientChannel(CloudTransport* transport, std::string peer_id,
                    const ChannelOptions& options);
 
   /// Batched idempotent put. `tokens` names each logical write; pass an
@@ -123,7 +135,11 @@ class ResilientChannel {
 
   const ChannelStats& stats() const { return stats_; }
   const std::string& peer() const { return peer_; }
+  /// The underlying cloud when reachable in-process; nullptr when the
+  /// channel speaks through a socket transport (the provider may be in
+  /// another process entirely).
   cloud::CloudInfrastructure* cloud() { return cloud_; }
+  CloudTransport* transport() { return transport_; }
 
  private:
   struct Metrics {
@@ -138,7 +154,9 @@ class ResilientChannel {
   /// this failure is a deadline exhaustion that opened the circuit.
   void RecordOpFailure(const Status& status, const std::string& what);
 
-  cloud::CloudInfrastructure* cloud_;
+  cloud::CloudInfrastructure* cloud_;  // nullptr on the socket path.
+  std::unique_ptr<CloudTransport> owned_transport_;
+  CloudTransport* transport_;
   std::string peer_;
   ChannelOptions options_;
   Backoff backoff_;

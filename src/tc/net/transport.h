@@ -1,0 +1,105 @@
+#ifndef TC_NET_TRANSPORT_H_
+#define TC_NET_TRANSPORT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tc/cloud/infrastructure.h"
+#include "tc/common/bytes.h"
+#include "tc/common/result.h"
+
+namespace tc::net {
+
+/// The cell-side view of the provider's RPC surface — exactly the five
+/// operations ResilientChannel retries over (batched idempotent puts,
+/// latest-blob gets, snapshot acquisition, snapshot reads, multi-key
+/// commits). Everything above this interface (retry/backoff, deadline
+/// budgets, circuit breaker, outbox, fleet, cell) is transport-agnostic:
+/// the same channel code runs over an in-process function call or a real
+/// TCP connection to a standalone provider process.
+///
+/// Semantics every implementation must preserve:
+///   - One call = one network attempt. The attempt may fail kUnavailable
+///     with the effect applied (lost ack) or not applied (lost request);
+///     idempotency tokens make re-attempts exactly-once either way.
+///   - `delay_us` out-params / fields carry the *injected* (virtual)
+///     network delay of the attempt, charged to the caller's virtual
+///     clock — never slept.
+///   - A transport-level failure (dead socket, pool exhausted, request
+///     timeout) surfaces as kUnavailable or kDeadlineExceeded, which the
+///     channel already treats as retry-or-defer; it must never invent a
+///     definitive answer (kAborted, kNotFound) the provider did not give.
+///
+/// Implementations must be safe for concurrent calls from many cells; the
+/// in-process transport inherits this from CloudInfrastructure, the socket
+/// transport from its connection pool.
+class CloudTransport {
+ public:
+  using BatchPutOutcome = cloud::CloudInfrastructure::BatchPutOutcome;
+
+  virtual ~CloudTransport() = default;
+
+  /// Batched idempotent put; one attempt, per-item acks.
+  virtual BatchPutOutcome PutBlobBatch(
+      const std::vector<std::pair<std::string, Bytes>>& items,
+      const std::vector<std::string>& tokens) = 0;
+
+  /// Latest blob; `delay_us` (when non-null) receives the injected delay.
+  virtual Result<Bytes> GetBlob(const std::string& id, uint32_t* delay_us) = 0;
+
+  /// Committed-horizon snapshot.
+  virtual Result<cloud::SnapshotDescriptor> GetSnapshot(
+      uint32_t* delay_us) = 0;
+
+  /// Newest version of `id` visible in `snap`.
+  virtual Result<cloud::SnapshotRead> GetAtSnapshot(
+      const std::string& id, const cloud::SnapshotDescriptor& snap,
+      uint32_t* delay_us) = 0;
+
+  /// Multi-key atomic commit; one attempt.
+  virtual cloud::TxnOutcome CommitTxn(const cloud::TxnRequest& req) = 0;
+
+  /// Short label for logs/benches ("in-process", "socket").
+  virtual std::string name() const = 0;
+};
+
+/// The historical fast path: every "RPC" is a direct call into the shared
+/// CloudInfrastructure object (which consults the attached
+/// NetworkFaultInjector on this surface). Deterministic, allocation-free,
+/// and the default for unit tests.
+class InProcessTransport final : public CloudTransport {
+ public:
+  explicit InProcessTransport(cloud::CloudInfrastructure* cloud)
+      : cloud_(cloud) {}
+
+  BatchPutOutcome PutBlobBatch(
+      const std::vector<std::pair<std::string, Bytes>>& items,
+      const std::vector<std::string>& tokens) override {
+    return cloud_->PutBlobBatchRpc(items, tokens);
+  }
+  Result<Bytes> GetBlob(const std::string& id, uint32_t* delay_us) override {
+    return cloud_->GetBlobRpc(id, delay_us);
+  }
+  Result<cloud::SnapshotDescriptor> GetSnapshot(uint32_t* delay_us) override {
+    return cloud_->GetSnapshotRpc(delay_us);
+  }
+  Result<cloud::SnapshotRead> GetAtSnapshot(
+      const std::string& id, const cloud::SnapshotDescriptor& snap,
+      uint32_t* delay_us) override {
+    return cloud_->GetBlobAtSnapshotRpc(id, snap, delay_us);
+  }
+  cloud::TxnOutcome CommitTxn(const cloud::TxnRequest& req) override {
+    return cloud_->CommitTxnRpc(req);
+  }
+  std::string name() const override { return "in-process"; }
+
+  cloud::CloudInfrastructure* cloud() { return cloud_; }
+
+ private:
+  cloud::CloudInfrastructure* cloud_;
+};
+
+}  // namespace tc::net
+
+#endif  // TC_NET_TRANSPORT_H_

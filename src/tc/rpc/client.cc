@@ -1,0 +1,278 @@
+#include "tc/rpc/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "tc/net/backoff.h"
+#include "tc/obs/metrics.h"
+#include "tc/obs/trace.h"
+
+namespace tc::rpc {
+
+namespace {
+
+bool WriteFull(int fd, const uint8_t* buf, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    ssize_t r = ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
+    if (r > 0) {
+      sent += static_cast<size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+/// RAII decrement for the pool-wide in-flight cap.
+class InFlightSlot {
+ public:
+  explicit InFlightSlot(std::atomic<int64_t>& counter) : counter_(counter) {}
+  ~InFlightSlot() { counter_.fetch_sub(1, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t>& counter_;
+};
+
+}  // namespace
+
+RpcClientPool::RpcClientPool(const Options& options) : options_(options) {
+  size_t n = options_.connections == 0 ? 1 : options_.connections;
+  conns_.reserve(n);
+  for (size_t i = 0; i < n; ++i) conns_.push_back(std::make_unique<Conn>());
+}
+
+RpcClientPool::~RpcClientPool() { Close(); }
+
+void RpcClientPool::Close() {
+  if (closed_.exchange(true, std::memory_order_acq_rel)) return;
+  for (auto& conn_ptr : conns_) {
+    Conn& conn = *conn_ptr;
+    std::lock_guard<std::mutex> lc(conn.lifecycle_mu);
+    uint64_t gen;
+    {
+      std::lock_guard<std::mutex> lock(conn.mu);
+      gen = conn.generation;
+    }
+    TearDown(conn, gen);
+    if (conn.reader.joinable()) conn.reader.join();
+    std::lock_guard<std::mutex> wl(conn.write_mu);
+    std::lock_guard<std::mutex> lock(conn.mu);
+    if (conn.fd >= 0) {
+      ::close(conn.fd);
+      conn.fd = -1;
+    }
+  }
+}
+
+bool RpcClientPool::EnsureConnected(Conn& conn) {
+  std::lock_guard<std::mutex> lc(conn.lifecycle_mu);
+  {
+    std::lock_guard<std::mutex> lock(conn.mu);
+    if (conn.connected) return true;
+  }
+  // The previous epoch (if any) is dead: its reader has seen — or is about
+  // to see — the shutdown and is winding down. Join it BEFORE spawning the
+  // next epoch, so a stale reader can never race the new one's fd.
+  if (conn.reader.joinable()) conn.reader.join();
+  {
+    std::lock_guard<std::mutex> wl(conn.write_mu);
+    std::lock_guard<std::mutex> lock(conn.mu);
+    if (conn.fd >= 0) {
+      ::close(conn.fd);
+      conn.fd = -1;
+    }
+  }
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lock(conn.mu);
+    conn.fd = fd;
+    conn.connected = true;
+    generation = ++conn.generation;
+  }
+  conn.reader = std::thread([this, &conn, fd, generation] {
+    ReaderLoop(&conn, fd, generation);
+  });
+  return true;
+}
+
+void RpcClientPool::TearDown(Conn& conn, uint64_t generation) {
+  std::lock_guard<std::mutex> lock(conn.mu);
+  if (conn.generation != generation || !conn.connected) return;  // Stale.
+  conn.connected = false;
+  for (auto& [id, pending] : conn.pending) {
+    pending->status = Status::Unavailable("connection lost");
+    pending->done = true;
+    pending->cv.notify_all();
+  }
+  conn.pending.clear();
+  // Wake the reader (and fail any in-progress send). The fd itself is
+  // closed later, under lifecycle_mu, after the reader has been joined.
+  if (conn.fd >= 0) ::shutdown(conn.fd, SHUT_RDWR);
+}
+
+void RpcClientPool::ReaderLoop(Conn* conn, int fd, uint64_t generation) {
+  // Buffered stream parser, mirroring the server's reader: one recv may
+  // carry many pipelined responses, so syscalls and reader wake-ups
+  // amortize across a burst.
+  std::vector<uint8_t> buf;
+  size_t pos = 0;
+  bool stop = false;
+  while (!stop) {
+    while (buf.size() - pos >= kFrameHeaderBytes) {
+      auto header = DecodeFrameHeader(buf.data() + pos, kFrameHeaderBytes);
+      if (!header.ok() || !header->response()) {  // Unframeable stream.
+        stop = true;
+        break;
+      }
+      const size_t need = kFrameHeaderBytes + header->payload_size;
+      if (buf.size() - pos < need) break;  // Frame still arriving.
+      Bytes payload(buf.begin() + pos + kFrameHeaderBytes,
+                    buf.begin() + pos + need);
+      pos += need;
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->generation != generation) return;  // Epoch ended under us.
+      auto it = conn->pending.find(header->request_id);
+      if (it == conn->pending.end()) continue;  // Deadline-abandoned waiter.
+      it->second->response = std::move(payload);
+      it->second->status = Status::OK();
+      it->second->done = true;
+      it->second->cv.notify_all();
+      conn->pending.erase(it);
+    }
+    if (stop) break;
+    if (pos > 0) {
+      buf.erase(buf.begin(), buf.begin() + pos);
+      pos = 0;
+    }
+    constexpr size_t kReadChunk = 64 * 1024;
+    const size_t old_size = buf.size();
+    buf.resize(old_size + kReadChunk);
+    ssize_t r = ::recv(fd, buf.data() + old_size, kReadChunk, 0);
+    if (r <= 0) {
+      buf.resize(old_size);
+      if (r < 0 && errno == EINTR) continue;
+      break;
+    }
+    buf.resize(old_size + static_cast<size_t>(r));
+  }
+  TearDown(*conn, generation);
+}
+
+Result<Bytes> RpcClientPool::Call(RpcOp op, const Bytes& payload) {
+  auto& registry = obs::MetricRegistry::Global();
+  registry.GetCounter("rpc.client.calls").Increment();
+  if (closed_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("client pool closed");
+  }
+  if (in_flight_.fetch_add(1, std::memory_order_relaxed) >=
+      static_cast<int64_t>(options_.max_in_flight)) {
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    registry.GetCounter("rpc.client.exhausted").Increment();
+    return Status::Unavailable("rpc client pool exhausted");
+  }
+  InFlightSlot slot(in_flight_);
+  obs::Stopwatch call_timer;
+
+  Conn& conn = *conns_[next_conn_.fetch_add(1, std::memory_order_relaxed) %
+                       conns_.size()];
+  if (!EnsureConnected(conn)) {
+    registry.GetCounter("rpc.client.transport_errors").Increment();
+    return Status::Unavailable("rpc server unreachable");
+  }
+
+  uint64_t id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  auto pending = std::make_shared<PendingCall>();
+  uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lock(conn.mu);
+    if (!conn.connected) {
+      return Status::Unavailable("connection lost");
+    }
+    generation = conn.generation;
+    conn.pending[id] = pending;
+  }
+
+  FrameHeader h;
+  h.op = op;
+  h.request_id = id;
+  h.trace = obs::CurrentContext();
+  h.payload_size = static_cast<uint32_t>(payload.size());
+  // One coalesced send per message: with TCP_NODELAY a split header/payload
+  // write is two packets (and two syscalls) on the wire.
+  Bytes frame = EncodeFrameHeader(h);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+
+  bool sent = false;
+  {
+    std::lock_guard<std::mutex> wl(conn.write_mu);
+    int fd = -1;
+    {
+      std::lock_guard<std::mutex> lock(conn.mu);
+      if (conn.connected && conn.generation == generation) fd = conn.fd;
+    }
+    if (fd >= 0) {
+      sent = WriteFull(fd, frame.data(), frame.size());
+    }
+  }
+  if (!sent) {
+    TearDown(conn, generation);
+    std::lock_guard<std::mutex> lock(conn.mu);
+    conn.pending.erase(id);
+    registry.GetCounter("rpc.client.transport_errors").Increment();
+    return Status::Unavailable("rpc send failed");
+  }
+
+  // Wait for the demuxed response, charging real elapsed time against the
+  // per-request deadline budget.
+  net::DeadlineBudget budget(options_.request_timeout_ms * 1000);
+  std::unique_lock<std::mutex> lock(conn.mu);
+  while (!pending->done) {
+    if (options_.request_timeout_ms == 0) {
+      pending->cv.wait(lock);
+      continue;
+    }
+    obs::Stopwatch waited;
+    pending->cv.wait_for(lock,
+                         std::chrono::microseconds(budget.remaining_us()));
+    if (pending->done) break;
+    if (!budget.Charge(waited.ElapsedUs() + 1)) {
+      conn.pending.erase(id);
+      registry.GetCounter("rpc.client.timeouts").Increment();
+      return Status::DeadlineExceeded("rpc response deadline exceeded");
+    }
+  }
+  registry.GetHistogram("rpc.client.call_us").Record(call_timer.ElapsedUs());
+  if (!pending->status.ok()) {
+    registry.GetCounter("rpc.client.transport_errors").Increment();
+    return pending->status;
+  }
+  return std::move(pending->response);
+}
+
+}  // namespace tc::rpc

@@ -1,0 +1,409 @@
+#include "tc/rpc/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "tc/obs/metrics.h"
+#include "tc/obs/trace.h"
+
+namespace tc::rpc {
+
+namespace {
+
+bool WriteFull(int fd, const uint8_t* buf, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a peer that vanished must surface as EPIPE, not kill
+    // the process with SIGPIPE.
+    ssize_t r = ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
+    if (r > 0) {
+      sent += static_cast<size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+RpcServer::RpcServer(cloud::CloudInfrastructure* cloud,
+                     const Options& options)
+    : cloud_(cloud), options_(options) {}
+
+RpcServer::~RpcServer() { Shutdown(); }
+
+bool RpcServer::LoopbackAvailable() {
+  static const bool available = [] {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    bool ok = ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0 &&
+              ::listen(fd, 1) == 0;
+    ::close(fd);
+    return ok;
+  }();
+  return available;
+}
+
+Status RpcServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server already started");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Unavailable("socket() failed: no loopback support");
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Unavailable(std::string("bind() failed: ") +
+                               std::strerror(errno));
+  }
+  if (::listen(fd, 128) != 0) {
+    ::close(fd);
+    return Status::Unavailable(std::string("listen() failed: ") +
+                               std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    ::close(fd);
+    return Status::Internal("getsockname() failed");
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_.store(fd, std::memory_order_release);
+  shutting_down_.store(false, std::memory_order_release);
+  pool_ = std::make_unique<fleet::WorkerPool>(fleet::WorkerPool::Options{
+      options_.worker_threads, options_.queue_capacity});
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void RpcServer::Shutdown() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  shutting_down_.store(true, std::memory_order_release);
+
+  // 1. Stop accepting: closing the listener wakes the accept loop. The
+  //    exchange retires the fd so the accept thread (which re-reads it
+  //    every iteration) can never race the close.
+  int lfd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (lfd >= 0) {
+    ::shutdown(lfd, SHUT_RDWR);
+    ::close(lfd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // 2. Half-close every connection's read side: readers see EOF and stop
+  //    producing new work, but responses for requests already inside the
+  //    pool can still be written (the write side stays up).
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns = conns_;
+  }
+  for (auto& c : conns) ShutdownConnection(*c, SHUT_RD);
+
+  // 3. Drain in-flight dispatches; each writes its response before the
+  //    task completes, so after this barrier every accepted request has
+  //    been answered.
+  if (pool_) pool_->Shutdown();
+
+  // 4. Join the readers; each closes its own fd on the way out.
+  for (auto& c : conns) {
+    ShutdownConnection(*c, SHUT_RDWR);
+    if (c->reader.joinable()) c->reader.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.clear();
+  }
+  pool_.reset();
+}
+
+RpcServer::Stats RpcServer::stats() const {
+  Stats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.malformed = malformed_.load(std::memory_order_relaxed);
+  s.version_mismatch = version_mismatch_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void RpcServer::AcceptLoop() {
+  auto& accepted_metric =
+      obs::MetricRegistry::Global().GetCounter("rpc.server.accepted");
+  while (running_.load(std::memory_order_acquire)) {
+    int lfd = listen_fd_.load(std::memory_order_acquire);
+    if (lfd < 0) break;  // Shutdown retired the listener.
+    int fd = ::accept(lfd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // Listener closed (shutdown) or fatal.
+    }
+    if (!running_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    accepted_metric.Increment();
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(conn);
+    }
+    conn->reader = std::thread([this, conn] { ReaderLoop(conn); });
+  }
+}
+
+void RpcServer::ReaderLoop(std::shared_ptr<Connection> conn) {
+  auto& malformed_metric =
+      obs::MetricRegistry::Global().GetCounter("rpc.server.malformed");
+  auto& bytes_in =
+      obs::MetricRegistry::Global().GetCounter("rpc.server.bytes_in");
+  // Buffered stream parser: one recv can deliver many pipelined frames, so
+  // the syscall (and reader wake-up) cost amortizes across every request a
+  // burst carries — the difference between pricing the wire per frame and
+  // per batch.
+  std::vector<uint8_t> buf;
+  size_t pos = 0;
+  bool stop = false;
+  while (!stop && conn->open.load(std::memory_order_acquire)) {
+    // Dispatch every complete frame currently buffered.
+    while (buf.size() - pos >= kFrameHeaderBytes) {
+      auto header = DecodeFrameHeader(buf.data() + pos, kFrameHeaderBytes);
+      if (!header.ok()) {
+        // Malformed or version-mismatched frame: the stream can no longer
+        // be framed safely, so the only clean recovery is closing the
+        // connection (the client reconnects and retries under its token).
+        malformed_.fetch_add(1, std::memory_order_relaxed);
+        malformed_metric.Increment();
+        if (header.status().code() == StatusCode::kUnimplemented) {
+          version_mismatch_.fetch_add(1, std::memory_order_relaxed);
+        }
+        stop = true;
+        break;
+      }
+      if (header->response() ||
+          header->payload_size > options_.max_frame_bytes) {
+        malformed_.fetch_add(1, std::memory_order_relaxed);
+        malformed_metric.Increment();
+        stop = true;
+        break;
+      }
+      const size_t need = kFrameHeaderBytes + header->payload_size;
+      if (buf.size() - pos < need) break;  // Frame still arriving.
+      Bytes payload(buf.begin() + pos + kFrameHeaderBytes,
+                    buf.begin() + pos + need);
+      pos += need;
+      bytes_in.Increment(need);
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      FrameHeader h = *header;
+      {
+        std::lock_guard<std::mutex> lock(conn->write_mu);
+        ++conn->in_flight;
+      }
+      // Hand the frame to the pool. Submit blocks on a full queue, which
+      // is exactly the backpressure we want per connection; false means
+      // the server is shutting down and this request is dropped *unread by
+      // the dispatcher* — the client sees the connection close, not a lost
+      // ack.
+      bool submitted = pool_->Submit(
+          [this, conn, h, payload = std::move(payload)]() mutable {
+            Dispatch(conn, h, std::move(payload));
+          });
+      if (!submitted) {
+        std::lock_guard<std::mutex> lock(conn->write_mu);
+        --conn->in_flight;
+        conn->drained.notify_all();
+        stop = true;
+        break;
+      }
+    }
+    if (stop) break;
+    if (pos > 0) {
+      buf.erase(buf.begin(), buf.begin() + pos);
+      pos = 0;
+    }
+    constexpr size_t kReadChunk = 64 * 1024;
+    const size_t old_size = buf.size();
+    buf.resize(old_size + kReadChunk);
+    ssize_t r = ::recv(conn->fd, buf.data() + old_size, kReadChunk, 0);
+    if (r <= 0) {
+      buf.resize(old_size);
+      if (r < 0 && errno == EINTR) continue;
+      break;  // EOF, reset, or fatal error: peer (or shutdown) ended it.
+    }
+    buf.resize(old_size + static_cast<size_t>(r));
+  }
+  // The reader is the connection's last reference to the fd number: wait
+  // for every dispatched request to finish writing (so a graceful server
+  // shutdown — EOF here — cannot orphan an in-flight response), then close
+  // under write_mu. Only the reader closes, so a recycled fd number can
+  // never be touched by a stale thread.
+  std::unique_lock<std::mutex> lock(conn->write_mu);
+  conn->drained.wait(lock, [&] { return conn->in_flight == 0; });
+  conn->open.store(false, std::memory_order_release);
+  if (conn->fd >= 0) {
+    ::close(conn->fd);
+    conn->fd = -1;
+  }
+}
+
+void RpcServer::Dispatch(std::shared_ptr<Connection> conn, FrameHeader header,
+                         Bytes payload) {
+  auto& registry = obs::MetricRegistry::Global();
+  auto& in_flight = registry.GetGauge("rpc.server.in_flight");
+  auto& dispatch_us = registry.GetHistogram("rpc.server.dispatch_us");
+  auto& requests_metric = registry.GetCounter("rpc.server.requests");
+  in_flight.Add(1);
+  obs::Stopwatch timer;
+  Status decode_ok = Status::OK();
+  Bytes response;
+  {
+    // Restore the caller's trace context from the frame header so
+    // server-side spans (cloud.*, storage.*) parent under the cell
+    // operation that issued this RPC — the cross-process leg of causal
+    // trace propagation.
+    obs::ScopedTraceContext scoped(header.trace);
+    response = Execute(header, std::move(payload), &decode_ok);
+  }
+  if (!decode_ok.ok()) {
+    // Undecodable payload behind a well-formed header: the stream itself
+    // is still framed, but this connection's peer is speaking garbage —
+    // treat like a malformed frame and drop the connection.
+    malformed_.fetch_add(1, std::memory_order_relaxed);
+    registry.GetCounter("rpc.server.malformed").Increment();
+    ShutdownConnection(*conn, SHUT_RDWR);
+  } else {
+    FrameHeader h = header;
+    h.flags |= kFlagResponse;
+    h.payload_size = static_cast<uint32_t>(response.size());
+    Bytes frame = EncodeFrameHeader(h);
+    frame.insert(frame.end(), response.begin(), response.end());
+    WriteFrames(*conn, frame);
+    requests_metric.Increment();
+  }
+  dispatch_us.Record(timer.ElapsedUs());
+  in_flight.Add(-1);
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    --conn->in_flight;
+    conn->drained.notify_all();
+  }
+}
+
+Bytes RpcServer::Execute(const FrameHeader& header, Bytes payload,
+                         Status* decode_ok_out) {
+  Bytes response;
+  Status decode_ok = Status::OK();
+  switch (header.op) {
+    case RpcOp::kPing: {
+      response = payload;  // Echo.
+      break;
+    }
+    case RpcOp::kPutBlobBatch: {
+      auto req = DecodePutBatchRequest(payload);
+      if (!req.ok()) {
+        decode_ok = req.status();
+        break;
+      }
+      response =
+          EncodePutBatchResponse(cloud_->PutBlobBatchRpc(req->items, req->tokens));
+      break;
+    }
+    case RpcOp::kGetBlob: {
+      auto id = DecodeGetBlobRequest(payload);
+      if (!id.ok()) {
+        decode_ok = id.status();
+        break;
+      }
+      GetBlobResponse out;
+      uint32_t delay = 0;
+      auto blob = cloud_->GetBlobRpc(id.value(), &delay);
+      out.status = blob.status();
+      if (blob.ok()) out.data = std::move(blob).value();
+      out.delay_us = delay;
+      response = EncodeGetBlobResponse(out);
+      break;
+    }
+    case RpcOp::kGetSnapshot: {
+      GetSnapshotResponse out;
+      uint32_t delay = 0;
+      auto snap = cloud_->GetSnapshotRpc(&delay);
+      out.status = snap.status();
+      if (snap.ok()) out.snapshot = std::move(snap).value();
+      out.delay_us = delay;
+      response = EncodeGetSnapshotResponse(out);
+      break;
+    }
+    case RpcOp::kGetAtSnapshot: {
+      auto req = DecodeGetAtSnapshotRequest(payload);
+      if (!req.ok()) {
+        decode_ok = req.status();
+        break;
+      }
+      GetAtSnapshotResponse out;
+      uint32_t delay = 0;
+      auto read = cloud_->GetBlobAtSnapshotRpc(req->id, req->snapshot, &delay);
+      out.status = read.status();
+      if (read.ok()) out.read = std::move(read).value();
+      out.delay_us = delay;
+      response = EncodeGetAtSnapshotResponse(out);
+      break;
+    }
+    case RpcOp::kCommitTxn: {
+      auto req = DecodeTxnRequest(payload);
+      if (!req.ok()) {
+        decode_ok = req.status();
+        break;
+      }
+      response = EncodeTxnOutcome(cloud_->CommitTxnRpc(req.value()));
+      break;
+    }
+  }
+  *decode_ok_out = decode_ok;
+  return response;
+}
+
+void RpcServer::WriteFrames(Connection& conn, const Bytes& frames) {
+  // Every response frame of a burst goes out in ONE send: with TCP_NODELAY
+  // a per-response (or split header/payload) write would put each response
+  // on the wire as its own packet.
+  auto& bytes_out =
+      obs::MetricRegistry::Global().GetCounter("rpc.server.bytes_out");
+  std::lock_guard<std::mutex> lock(conn.write_mu);
+  if (!conn.open.load(std::memory_order_acquire) || conn.fd < 0) return;
+  if (!WriteFull(conn.fd, frames.data(), frames.size())) {
+    // Peer gone mid-write; reader will notice EOF and wind down.
+    return;
+  }
+  bytes_out.Increment(frames.size());
+}
+
+void RpcServer::ShutdownConnection(Connection& conn, int how) {
+  std::lock_guard<std::mutex> lock(conn.write_mu);
+  if (conn.fd < 0) return;
+  if (how == SHUT_RDWR) conn.open.store(false, std::memory_order_release);
+  ::shutdown(conn.fd, how);
+}
+
+}  // namespace tc::rpc

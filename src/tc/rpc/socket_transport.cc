@@ -1,0 +1,95 @@
+#include "tc/rpc/socket_transport.h"
+
+namespace tc::rpc {
+
+namespace {
+
+/// A well-formed frame whose payload fails to decode means the transport
+/// scrambled bytes, not that the provider answered — degrade to the
+/// retryable code instead of inventing a definitive outcome.
+Status AsTransportError(const Status& decode_status) {
+  return Status::Unavailable("rpc response undecodable: " +
+                             decode_status.ToString());
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(const std::string& host, uint16_t port,
+                                 RpcClientPool::Options pool_options)
+    : pool_([&] {
+        pool_options.host = host;
+        pool_options.port = port;
+        return pool_options;
+      }()) {}
+
+SocketTransport::BatchPutOutcome SocketTransport::PutBlobBatch(
+    const std::vector<std::pair<std::string, Bytes>>& items,
+    const std::vector<std::string>& tokens) {
+  BatchPutOutcome outcome;
+  auto wire = pool_.Call(RpcOp::kPutBlobBatch,
+                         EncodePutBatchRequest(items, tokens));
+  if (!wire.ok()) {
+    outcome.status = wire.status();
+    return outcome;
+  }
+  auto decoded = DecodePutBatchResponse(wire.value());
+  if (!decoded.ok()) {
+    outcome.status = AsTransportError(decoded.status());
+    return outcome;
+  }
+  return std::move(decoded).value();
+}
+
+Result<Bytes> SocketTransport::GetBlob(const std::string& id,
+                                       uint32_t* delay_us) {
+  auto wire = pool_.Call(RpcOp::kGetBlob, EncodeGetBlobRequest(id));
+  if (!wire.ok()) return wire.status();
+  auto decoded = DecodeGetBlobResponse(wire.value());
+  if (!decoded.ok()) return AsTransportError(decoded.status());
+  if (delay_us != nullptr) *delay_us = decoded->delay_us;
+  if (!decoded->status.ok()) return decoded->status;
+  return std::move(decoded->data);
+}
+
+Result<cloud::SnapshotDescriptor> SocketTransport::GetSnapshot(
+    uint32_t* delay_us) {
+  auto wire = pool_.Call(RpcOp::kGetSnapshot, Bytes{});
+  if (!wire.ok()) return wire.status();
+  auto decoded = DecodeGetSnapshotResponse(wire.value());
+  if (!decoded.ok()) return AsTransportError(decoded.status());
+  if (delay_us != nullptr) *delay_us = decoded->delay_us;
+  if (!decoded->status.ok()) return decoded->status;
+  return std::move(decoded->snapshot);
+}
+
+Result<cloud::SnapshotRead> SocketTransport::GetAtSnapshot(
+    const std::string& id, const cloud::SnapshotDescriptor& snap,
+    uint32_t* delay_us) {
+  GetAtSnapshotRequest req;
+  req.id = id;
+  req.snapshot = snap;
+  auto wire = pool_.Call(RpcOp::kGetAtSnapshot, EncodeGetAtSnapshotRequest(req));
+  if (!wire.ok()) return wire.status();
+  auto decoded = DecodeGetAtSnapshotResponse(wire.value());
+  if (!decoded.ok()) return AsTransportError(decoded.status());
+  if (delay_us != nullptr) *delay_us = decoded->delay_us;
+  if (!decoded->status.ok()) return decoded->status;
+  return std::move(decoded->read);
+}
+
+cloud::TxnOutcome SocketTransport::CommitTxn(const cloud::TxnRequest& req) {
+  cloud::TxnOutcome outcome;
+  auto wire = pool_.Call(RpcOp::kCommitTxn, EncodeTxnRequest(req));
+  if (!wire.ok()) {
+    outcome.status = wire.status();
+    return outcome;
+  }
+  auto decoded = DecodeTxnOutcome(wire.value());
+  if (!decoded.ok()) {
+    outcome.status = AsTransportError(decoded.status());
+    return outcome;
+  }
+  return std::move(decoded).value();
+}
+
+}  // namespace tc::rpc

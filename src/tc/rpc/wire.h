@@ -1,0 +1,158 @@
+#ifndef TC_RPC_WIRE_H_
+#define TC_RPC_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tc/cloud/infrastructure.h"
+#include "tc/cloud/txn.h"
+#include "tc/common/bytes.h"
+#include "tc/common/codec.h"
+#include "tc/common/result.h"
+#include "tc/obs/trace.h"
+
+namespace tc::rpc {
+
+// ---------------------------------------------------------------------------
+// Frame layout
+// ---------------------------------------------------------------------------
+//
+// Every message on the wire is one length-prefixed frame:
+//
+//   offset size field
+//        0    4 magic        "TCW1" (0x54435731, little-endian u32)
+//        4    2 version      kWireVersion; a mismatch rejects the frame
+//        6    1 op           RpcOp of the request (responses echo it)
+//        7    1 flags        bit 0: response
+//        8    8 request_id   client-chosen; responses echo it (pipelining)
+//       16    8 trace_id     caller's obs::TraceContext, propagated so the
+//       24    8 span_id      server dispatch parents its spans under the
+//       32    8 parent_id    cell operation that issued the RPC
+//       40    4 payload_size bytes following the header; capped
+//       44    4 reserved     zero on the wire today
+//       48    - payload      op-specific body (codecs below)
+//
+// All integers little-endian fixed width (BinaryWriter's native layout).
+// The header is fixed-size so a reader can frame the stream with exactly
+// two reads and reject garbage before buffering anything unbounded.
+
+inline constexpr uint32_t kWireMagic = 0x54435731;  // "1WCT" on the wire.
+inline constexpr uint16_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 48;
+/// Upper bound on one frame's payload; a header asking for more is
+/// malformed (protects the reader from attacker-chosen allocations).
+inline constexpr uint32_t kMaxPayloadBytes = 64u << 20;
+
+inline constexpr uint8_t kFlagResponse = 0x1;
+
+/// Operation selector carried in the frame header.
+enum class RpcOp : uint8_t {
+  kPing = 0,          ///< Health check / connection probe.
+  kPutBlobBatch = 1,  ///< Tokened batch put -> BatchPutOutcome.
+  kGetBlob = 2,       ///< Latest blob -> payload + delay.
+  kGetSnapshot = 3,   ///< Committed horizon -> SnapshotDescriptor + delay.
+  kGetAtSnapshot = 4, ///< Snapshot read -> SnapshotRead + delay.
+  kCommitTxn = 5,     ///< Multi-key commit -> TxnOutcome.
+};
+
+const char* RpcOpName(RpcOp op);
+bool RpcOpKnown(uint8_t op);
+
+struct FrameHeader {
+  uint16_t version = kWireVersion;
+  RpcOp op = RpcOp::kPing;
+  uint8_t flags = 0;
+  uint64_t request_id = 0;
+  obs::TraceContext trace;
+  uint32_t payload_size = 0;
+
+  bool response() const { return (flags & kFlagResponse) != 0; }
+};
+
+/// Serializes `header` into exactly kFrameHeaderBytes.
+Bytes EncodeFrameHeader(const FrameHeader& header);
+
+/// Parses and validates a header: magic, version, known op, payload cap.
+/// `data` must hold at least kFrameHeaderBytes. Fails with kCorruption on
+/// a malformed header and kUnimplemented on a version mismatch (so the
+/// server can distinguish "garbage" from "future peer").
+Result<FrameHeader> DecodeFrameHeader(const uint8_t* data, size_t size);
+
+// ---------------------------------------------------------------------------
+// Payload codecs
+// ---------------------------------------------------------------------------
+// Every decoder consumes a BinaryReader-backed buffer and fails with a
+// non-OK status on truncated, oversized or inconsistent input — it never
+// over-reads and never trusts an embedded count further than the bytes
+// actually present.
+
+struct PutBatchRequest {
+  std::vector<std::pair<std::string, Bytes>> items;
+  std::vector<std::string> tokens;
+};
+
+struct GetBlobResponse {
+  Status status;  ///< Payload valid iff ok.
+  Bytes data;
+  uint32_t delay_us = 0;
+};
+
+struct GetSnapshotResponse {
+  Status status;
+  cloud::SnapshotDescriptor snapshot;
+  uint32_t delay_us = 0;
+};
+
+struct GetAtSnapshotRequest {
+  std::string id;
+  cloud::SnapshotDescriptor snapshot;
+};
+
+struct GetAtSnapshotResponse {
+  Status status;
+  cloud::SnapshotRead read;
+  uint32_t delay_us = 0;
+};
+
+Bytes EncodePutBatchRequest(
+    const std::vector<std::pair<std::string, Bytes>>& items,
+    const std::vector<std::string>& tokens);
+Result<PutBatchRequest> DecodePutBatchRequest(const Bytes& payload);
+
+Bytes EncodePutBatchResponse(
+    const cloud::CloudInfrastructure::BatchPutOutcome& outcome);
+Result<cloud::CloudInfrastructure::BatchPutOutcome> DecodePutBatchResponse(
+    const Bytes& payload);
+
+Bytes EncodeGetBlobRequest(const std::string& id);
+Result<std::string> DecodeGetBlobRequest(const Bytes& payload);
+Bytes EncodeGetBlobResponse(const GetBlobResponse& response);
+Result<GetBlobResponse> DecodeGetBlobResponse(const Bytes& payload);
+
+Bytes EncodeGetSnapshotResponse(const GetSnapshotResponse& response);
+Result<GetSnapshotResponse> DecodeGetSnapshotResponse(const Bytes& payload);
+
+Bytes EncodeGetAtSnapshotRequest(const GetAtSnapshotRequest& request);
+Result<GetAtSnapshotRequest> DecodeGetAtSnapshotRequest(const Bytes& payload);
+Bytes EncodeGetAtSnapshotResponse(const GetAtSnapshotResponse& response);
+Result<GetAtSnapshotResponse> DecodeGetAtSnapshotResponse(
+    const Bytes& payload);
+
+Bytes EncodeTxnRequest(const cloud::TxnRequest& request);
+Result<cloud::TxnRequest> DecodeTxnRequest(const Bytes& payload);
+Bytes EncodeTxnOutcome(const cloud::TxnOutcome& outcome);
+Result<cloud::TxnOutcome> DecodeTxnOutcome(const Bytes& payload);
+
+/// Shared sub-codecs (exposed for the property tests).
+void WriteStatus(BinaryWriter& w, const Status& status);
+/// Decodes a wire Status into `*out`. The RETURNED status reports decode
+/// success (kCorruption on truncation/unknown code), not the decoded value.
+Status ReadStatus(BinaryReader& r, Status* out);
+void WriteSnapshot(BinaryWriter& w, const cloud::SnapshotDescriptor& snap);
+Result<cloud::SnapshotDescriptor> ReadSnapshot(BinaryReader& r);
+
+}  // namespace tc::rpc
+
+#endif  // TC_RPC_WIRE_H_

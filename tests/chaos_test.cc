@@ -22,6 +22,7 @@
 #include "tc/cloud/infrastructure.h"
 #include "tc/common/clock.h"
 #include "tc/fleet/fleet.h"
+#include "tc/rpc/wire_harness.h"
 #include "tc/testing/history_checker.h"
 
 namespace tc {
@@ -32,6 +33,18 @@ using cloud::NetworkFaultConfig;
 using cloud::NetworkFaultInjector;
 using fleet::FleetOptions;
 using fleet::FleetReport;
+
+// TC_TRANSPORT=socket (the chaos_test_wire ctest leg) reruns this entire
+// suite with every channel crossing a real loopback TCP connection to an
+// RpcServer in front of the same CloudInfrastructure — the fault injector
+// and every invariant below are unchanged. Skip the wire leg loudly where
+// the sandbox forbids loopback sockets.
+#define SKIP_IF_WIRE_LEG_IMPOSSIBLE()                           \
+  do {                                                          \
+    if (const char* reason = rpc::WireHarness::SkipReason()) {  \
+      GTEST_SKIP() << reason;                                   \
+    }                                                           \
+  } while (false)
 
 FleetOptions ChaosFleet() {
   FleetOptions options;
@@ -85,6 +98,7 @@ uint64_t ChaosSeedCount(uint64_t fallback) {
 TEST(ChaosTest, FaultRateSweepHoldsInvariants) {
   // 1%, 10% and 50% per-attempt fault rates, several seeds each, over an
   // 8-thread fleet. All virtual-time: no wall sleeps anywhere.
+  SKIP_IF_WIRE_LEG_IMPOSSIBLE();
   const uint64_t seeds = ChaosSeedCount(3);
   for (double rate : {0.01, 0.10, 0.50}) {
     for (uint64_t seed = 1; seed <= seeds; ++seed) {
@@ -94,9 +108,11 @@ TEST(ChaosTest, FaultRateSweepHoldsInvariants) {
       config.throttle_prob = rate / 10;
       NetworkFaultInjector injector(config);
       cloud.set_fault_injector(&injector);
+      rpc::WireHarness wire(&cloud);
 
       FleetOptions options = ChaosFleet();
       options.seed = seed;
+      options.transport = wire.transport();
       fleet::FleetRunner runner(&cloud, options);
       auto report = runner.Run();
       std::string label =
@@ -118,6 +134,7 @@ TEST(ChaosTest, TxnSweepIsSerializableUnderFaults) {
   // At EVERY point: zero serializability violations (HistoryChecker),
   // every transaction resolves, and the commit-exactness audit holds
   // (counter == version per key; versions == commits x keys).
+  SKIP_IF_WIRE_LEG_IMPOSSIBLE();
   const uint64_t seeds = ChaosSeedCount(5);
   for (double rate : {0.01, 0.10, 0.30}) {
     for (uint64_t seed = 1; seed <= seeds; ++seed) {
@@ -126,6 +143,7 @@ TEST(ChaosTest, TxnSweepIsSerializableUnderFaults) {
       config.delay_prob = rate;
       NetworkFaultInjector injector(config);
       cloud.set_fault_injector(&injector);
+      rpc::WireHarness wire(&cloud);
 
       tc::testing::HistoryChecker checker;
       FleetOptions options = ChaosFleet();
@@ -137,6 +155,7 @@ TEST(ChaosTest, TxnSweepIsSerializableUnderFaults) {
       options.txn_keys = 2;
       options.seed = seed;
       options.history = &checker;
+      options.transport = wire.transport();
 
       fleet::FleetRunner runner(&cloud, options);
       auto report = runner.Run();
@@ -175,15 +194,18 @@ TEST(ChaosTest, TxnSweepIsSerializableUnderFaults) {
 }
 
 TEST(ChaosTest, ForcedOutageDefersThenConverges) {
+  SKIP_IF_WIRE_LEG_IMPOSSIBLE();
   CloudInfrastructure cloud;
   NetworkFaultConfig config = NetworkFaultConfig::Lossy(0.05, 77);
   NetworkFaultInjector injector(config);
   cloud.set_fault_injector(&injector);
+  rpc::WireHarness wire(&cloud);
 
   FleetOptions options = ChaosFleet();
   options.cells = 8;  // Outage heal is an all-cells barrier: cells<=threads.
   options.outage_first_rounds = 6;
   options.seed = 77;
+  options.transport = wire.transport();
   fleet::FleetRunner runner(&cloud, options);
   auto report = runner.Run();
   ASSERT_TRUE(report.ok()) << report.status().ToString();
@@ -202,6 +224,7 @@ TEST(ChaosTest, ChaosSeedReproducesFromPrintedSchedule) {
   // same schedule. (Multi-threaded runs are deterministic per ordinal;
   // single-threaded the whole run is, which is what makes a printed
   // schedule a complete repro recipe.)
+  SKIP_IF_WIRE_LEG_IMPOSSIBLE();
   FleetOptions options = ChaosFleet();
   options.cells = 2;
   options.threads = 1;
@@ -213,6 +236,8 @@ TEST(ChaosTest, ChaosSeedReproducesFromPrintedSchedule) {
   CloudInfrastructure original_cloud;
   NetworkFaultInjector original(config);
   original_cloud.set_fault_injector(&original);
+  rpc::WireHarness original_wire(&original_cloud);
+  options.transport = original_wire.transport();
   fleet::FleetRunner original_runner(&original_cloud, options);
   auto original_report = original_runner.Run();
   ASSERT_TRUE(original_report.ok());
@@ -222,6 +247,8 @@ TEST(ChaosTest, ChaosSeedReproducesFromPrintedSchedule) {
   auto replay =
       NetworkFaultInjector::FromSchedule(original.Schedule(), config.seed);
   replay_cloud.set_fault_injector(replay.get());
+  rpc::WireHarness replay_wire(&replay_cloud);
+  options.transport = replay_wire.transport();
   fleet::FleetRunner replay_runner(&replay_cloud, options);
   auto replay_report = replay_runner.Run();
   ASSERT_TRUE(replay_report.ok());
@@ -250,8 +277,10 @@ TEST(ChaosTest, ChaosSeedReproducesFromPrintedSchedule) {
 class CellChaosTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    SKIP_IF_WIRE_LEG_IMPOSSIBLE();
     clock_.Set(MakeTimestamp(2013, 1, 7, 9, 0, 0));
     cloud_.set_fault_injector(&injector_);
+    wire_ = std::make_unique<rpc::WireHarness>(&cloud_);
   }
 
   std::unique_ptr<cell::TrustedCell> MakeCell(const std::string& id,
@@ -265,6 +294,7 @@ class CellChaosTest : public ::testing::Test {
     config.flash.block_count = 256;
     config.resilient_sync = resilient;
     config.channel.op_deadline_us = 30000;  // Fail over to the outbox fast.
+    config.transport = wire_->transport();  // nullptr => in-process.
     auto cell = cell::TrustedCell::Create(config, &cloud_, &directory_,
                                           &clock_);
     TC_CHECK(cell.ok());
@@ -275,6 +305,9 @@ class CellChaosTest : public ::testing::Test {
   NetworkFaultInjector injector_{NetworkFaultConfig{}};  // Clean by default.
   cloud::CloudInfrastructure cloud_;
   cell::CellDirectory directory_;
+  // Declared last: the harness's server must stop dispatching onto cloud_
+  // before cloud_ is destroyed.
+  std::unique_ptr<rpc::WireHarness> wire_;
 };
 
 TEST_F(CellChaosTest, PartitionedCellKeepsWorkingAndCatchesUp) {

@@ -19,6 +19,7 @@
 #include "tc/fleet/fleet.h"
 #include "tc/net/channel.h"
 #include "tc/net/outbox.h"
+#include "tc/rpc/wire_harness.h"
 #include "tc/storage/log_store.h"
 #include "tc/storage/page_transform.h"
 #include "tc/testing/fault_injection.h"
@@ -38,6 +39,31 @@ TxnRequest MakeTxn(const std::string& token, const SnapshotDescriptor& snap) {
   req.token = token;
   req.snapshot = snap;
   return req;
+}
+
+// TC_TRANSPORT=socket (the txn_test_wire ctest leg) reruns the channel,
+// cell and fleet transaction suites with every channel attempt crossing a
+// real loopback TCP connection — same provider, same injector, same
+// serializability assertions. The BlobStore/HistoryChecker/outbox unit
+// tests below exercise provider- or cell-local state and have no network
+// leg to put behind a socket.
+#define SKIP_IF_WIRE_LEG_IMPOSSIBLE()                           \
+  do {                                                          \
+    if (const char* reason = rpc::WireHarness::SkipReason()) {  \
+      GTEST_SKIP() << reason;                                   \
+    }                                                           \
+  } while (false)
+
+/// Builds a channel on the harness's socket transport when the wire leg is
+/// active, on the direct in-process path otherwise.
+std::unique_ptr<net::ResilientChannel> MakeChannel(
+    cloud::CloudInfrastructure* cloud, rpc::WireHarness& wire,
+    const std::string& peer, const net::ChannelOptions& options = {}) {
+  if (wire.transport() != nullptr) {
+    return std::make_unique<net::ResilientChannel>(wire.transport(), peer,
+                                                   options);
+  }
+  return std::make_unique<net::ResilientChannel>(cloud, peer, options);
 }
 
 // ---------------------------------------------------------------------------
@@ -371,6 +397,7 @@ TEST(HistoryCheckerTest, RejectsProtocolErrors) {
 // ---------------------------------------------------------------------------
 
 TEST(ChannelTxnTest, LossyNetworkCommitsExactlyOncePerToken) {
+  SKIP_IF_WIRE_LEG_IMPOSSIBLE();
   cloud::CloudInfrastructure cloud;
   cloud::NetworkFaultConfig config;
   config.drop_ack_prob = 0.3;   // Lost acks force same-request re-sends.
@@ -379,10 +406,12 @@ TEST(ChannelTxnTest, LossyNetworkCommitsExactlyOncePerToken) {
   config.seed = 42;
   cloud::NetworkFaultInjector injector(config);
   cloud.set_fault_injector(&injector);
+  rpc::WireHarness wire(&cloud);
 
   net::ChannelOptions options;
   options.op_deadline_us = 2000000;  // Generous: resolve every commit.
-  net::ResilientChannel channel(&cloud, "cell-1", options);
+  auto channel_ptr = MakeChannel(&cloud, wire, "cell-1", options);
+  net::ResilientChannel& channel = *channel_ptr;
 
   const int kRounds = 20;
   int committed = 0;
@@ -434,9 +463,12 @@ TEST(ChannelTxnTest, LossyNetworkCommitsExactlyOncePerToken) {
 }
 
 TEST(ChannelTxnTest, AbortIsDefinitiveAndDoesNotTripBreaker) {
+  SKIP_IF_WIRE_LEG_IMPOSSIBLE();
   cloud::CloudInfrastructure cloud;
   cloud.PutBlob("k", ToBytes("v1"));
-  net::ResilientChannel channel(&cloud, "cell-1", net::ChannelOptions{});
+  rpc::WireHarness wire(&cloud);
+  auto channel_ptr = MakeChannel(&cloud, wire, "cell-1");
+  net::ResilientChannel& channel = *channel_ptr;
 
   auto snap = channel.GetSnapshot();
   ASSERT_TRUE(snap.ok());
@@ -464,8 +496,10 @@ TEST(ChannelTxnTest, AbortIsDefinitiveAndDoesNotTripBreaker) {
 class CellTxnTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    SKIP_IF_WIRE_LEG_IMPOSSIBLE();
     clock_.Set(MakeTimestamp(2013, 1, 7, 9, 0, 0));
     cloud_.set_fault_injector(&injector_);
+    wire_ = std::make_unique<rpc::WireHarness>(&cloud_);
   }
 
   std::unique_ptr<cell::TrustedCell> MakeCell(const std::string& id,
@@ -479,6 +513,7 @@ class CellTxnTest : public ::testing::Test {
     config.flash.block_count = 256;
     config.resilient_sync = resilient;
     config.channel.op_deadline_us = 30000;  // Fail over to the outbox fast.
+    config.transport = wire_->transport();  // nullptr => in-process.
     auto cell =
         cell::TrustedCell::Create(config, &cloud_, &directory_, &clock_);
     TC_CHECK(cell.ok());
@@ -497,6 +532,9 @@ class CellTxnTest : public ::testing::Test {
   cloud::NetworkFaultInjector injector_{cloud::NetworkFaultConfig{}};
   cloud::CloudInfrastructure cloud_;
   cell::CellDirectory directory_;
+  // Declared last: the harness's server must stop dispatching onto cloud_
+  // before cloud_ is destroyed.
+  std::unique_ptr<rpc::WireHarness> wire_;
 };
 
 TEST_F(CellTxnTest, AtomicUpdatePublishesDataAndManifestTogether) {
@@ -593,7 +631,9 @@ TEST_F(CellTxnTest, PartitionedAtomicUpdateJournalsWholeTxnAndDrains) {
 // ---------------------------------------------------------------------------
 
 TEST(FleetTxnTest, ContendedCountersCommitExactlyAndSerializably) {
+  SKIP_IF_WIRE_LEG_IMPOSSIBLE();
   cloud::CloudInfrastructure cloud;
+  rpc::WireHarness wire(&cloud);
   tc::testing::HistoryChecker checker;
 
   fleet::FleetOptions options;
@@ -605,6 +645,7 @@ TEST(FleetTxnTest, ContendedCountersCommitExactlyAndSerializably) {
   options.txn_keys = 2;
   options.seed = 7;
   options.history = &checker;
+  options.transport = wire.transport();
 
   fleet::FleetRunner runner(&cloud, options);
   auto report = runner.Run();
